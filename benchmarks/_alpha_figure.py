@@ -1,0 +1,23 @@
+"""Shared driver for the α-sweep regret figures (Figures 2–7).
+
+Each figure file pins a dataset and a p(Ī^A) value; the driver runs (or
+fetches from the session cache) the sweep, prints the stacked-bar table the
+paper plots, and applies the common shape assertions.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import alpha_sweep, assert_shapes_alpha_sweep
+from repro.experiments.reporting import format_regret_table
+
+
+def run_alpha_figure(benchmark, cities, sweep_store, dataset: str, p_avg: float, title: str):
+    result = benchmark.pedantic(
+        lambda: alpha_sweep(sweep_store, cities, dataset, p_avg),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_regret_table(result, title))
+    assert_shapes_alpha_sweep(result)
+    return result

@@ -1,0 +1,118 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md §5):
+it runs the corresponding parameter sweep, prints the same rows/series the
+paper plots, and asserts the qualitative *shape* (who wins, directionality).
+
+Cities and sweeps are cached per session: the runtime figures (8–9) report
+the wall-clock numbers measured during the regret figures' sweeps, exactly as
+the paper derives both families of plots from the same runs.
+
+Set ``MROAM_BENCH_QUICK=1`` to run a reduced grid (smaller corpora, fewer
+sweep points) while iterating; the recorded EXPERIMENTS.md numbers come from
+the full default grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.configs import (
+    ALPHA_VALUES,
+    BENCH_RESTARTS,
+    GAMMA_VALUES,
+    LAMBDA_VALUES,
+    P_AVG_VALUES,
+    default_scenario,
+)
+from repro.experiments.harness import ExperimentResult, sweep
+
+QUICK = os.environ.get("MROAM_BENCH_QUICK") == "1"
+
+#: Sweep grids (reduced in quick mode).
+ALPHAS = (0.4, 1.0, 1.2) if QUICK else ALPHA_VALUES
+P_AVGS = (0.01, 0.05, 0.2) if QUICK else P_AVG_VALUES
+GAMMAS = (0.0, 0.5, 1.0) if QUICK else GAMMA_VALUES
+LAMBDAS = (50.0, 100.0, 200.0) if QUICK else LAMBDA_VALUES
+
+_QUICK_SCALE = {"nyc": (250, 3_000), "sg": (400, 3_000)}
+
+
+def bench_scenario(dataset: str):
+    scenario = default_scenario(dataset, seed=7)
+    if QUICK:
+        scale = _QUICK_SCALE[dataset]
+        scenario = scenario.with_params(n_billboards=scale[0], n_trajectories=scale[1])
+    return scenario
+
+
+@pytest.fixture(scope="session")
+def cities():
+    """Lazily generated bench cities, one per dataset."""
+    cache: dict = {}
+
+    def get(dataset: str):
+        if dataset not in cache:
+            cache[dataset] = bench_scenario(dataset).build_city()
+        return cache[dataset]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def sweep_store():
+    """Session cache of sweeps keyed by (dataset, parameter, extra)."""
+    return {}
+
+
+def cached_sweep(
+    store: dict,
+    cities,
+    dataset: str,
+    parameter: str,
+    values,
+    base_overrides: dict | None = None,
+) -> ExperimentResult:
+    """Run (or fetch) a sweep for one figure."""
+    key = (dataset, parameter, tuple(values), tuple(sorted((base_overrides or {}).items())))
+    if key not in store:
+        scenario = bench_scenario(dataset)
+        if base_overrides:
+            scenario = scenario.with_params(**base_overrides)
+        store[key] = sweep(
+            scenario,
+            parameter,
+            values,
+            restarts=BENCH_RESTARTS,
+            solver_seed=7,
+            city=cities(dataset),
+        )
+    return store[key]
+
+
+def alpha_sweep(store, cities, dataset: str, p_avg: float) -> ExperimentResult:
+    return cached_sweep(store, cities, dataset, "alpha", ALPHAS, {"p_avg": p_avg})
+
+
+def assert_shapes_alpha_sweep(result: ExperimentResult) -> None:
+    """The qualitative claims common to every α-sweep figure (2–7)."""
+    for alpha in result.values:
+        cell = result.cells[alpha]
+        # The local search framework refines G-Global, so it never loses to it.
+        assert cell["bls"].total_regret <= cell["g-global"].total_regret + 1e-6
+        assert cell["als"].total_regret <= cell["g-global"].total_regret + 1e-6
+
+    low, high = result.values[0], result.values[-1]
+    # Regret grows as the market tightens (low → excessive global demand).
+    assert result.cells[high]["g-global"].total_regret >= result.cells[low]["g-global"].total_regret
+
+    # Decomposition: excess-dominated at low α, unsatisfied-dominated at α ≥ 1.
+    low_cell = result.cells[low]["bls"]
+    if low_cell.total_regret > 0:
+        assert low_cell.excessive_pct >= low_cell.unsatisfied_pct
+    for alpha in result.values:
+        if alpha >= 1.2:
+            high_cell = result.cells[alpha]["g-global"]
+            assert high_cell.unsatisfied_pct > 50.0

@@ -1,0 +1,61 @@
+"""Ablations of the local search framework's design choices (Section 6).
+
+Not a figure in the paper, but DESIGN.md calls these out:
+
+* restart count (Algorithm 3's "preset count") — more restarts never hurt;
+* neighbourhood granularity — billboard-level moves (BLS) dominate
+  advertiser-level set swaps (ALS) at equal restart budget, which is the
+  paper's motivation for Section 6.2;
+* acceptance threshold (the ``r`` of Definition 6.1) — a coarse threshold
+  trades quality for fewer sweeps.
+"""
+
+from benchmarks.conftest import bench_scenario
+from repro.algorithms.local_search import RandomizedLocalSearch
+
+
+def run_ablations(cities):
+    instance = bench_scenario("nyc").with_params(alpha=0.8).build_instance(cities("nyc"))
+
+    restart_rows = []
+    for restarts in (0, 1, 3):
+        result = RandomizedLocalSearch("bls", restarts=restarts, seed=7).solve(instance)
+        restart_rows.append((restarts, result.total_regret, result.runtime_s))
+
+    neighborhood_rows = []
+    for neighborhood in ("als", "bls"):
+        result = RandomizedLocalSearch(neighborhood, restarts=2, seed=7).solve(instance)
+        neighborhood_rows.append((neighborhood, result.total_regret, result.runtime_s))
+
+    threshold_rows = []
+    for min_improvement in (1e-9, 1.0, 10.0):
+        result = RandomizedLocalSearch(
+            "bls", restarts=1, seed=7, min_improvement=min_improvement
+        ).solve(instance)
+        threshold_rows.append((min_improvement, result.total_regret, result.runtime_s))
+
+    return restart_rows, neighborhood_rows, threshold_rows
+
+
+def test_ablation_search(benchmark, cities):
+    restart_rows, neighborhood_rows, threshold_rows = benchmark.pedantic(
+        lambda: run_ablations(cities), rounds=1, iterations=1
+    )
+
+    print("\nAblation: restart count (BLS, NYC, alpha=80%)")
+    for restarts, regret, runtime in restart_rows:
+        print(f"  restarts={restarts}: regret={regret:.1f} time={runtime:.2f}s")
+    print("Ablation: neighbourhood (restarts=2)")
+    for neighborhood, regret, runtime in neighborhood_rows:
+        print(f"  {neighborhood}: regret={regret:.1f} time={runtime:.2f}s")
+    print("Ablation: acceptance threshold r (restarts=1)")
+    for threshold, regret, runtime in threshold_rows:
+        print(f"  min_improvement={threshold}: regret={regret:.1f} time={runtime:.2f}s")
+
+    # More restarts never hurt (the framework keeps the best plan seen).
+    regrets = [row[1] for row in restart_rows]
+    assert regrets[2] <= regrets[0] + 1e-6
+    # BLS dominates ALS at equal budget (the Section 6.2 motivation).
+    assert neighborhood_rows[1][1] <= neighborhood_rows[0][1] + 1e-6
+    # Loosening the acceptance threshold cannot improve quality.
+    assert threshold_rows[0][1] <= threshold_rows[-1][1] + 1e-6

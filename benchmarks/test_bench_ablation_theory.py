@@ -1,0 +1,46 @@
+"""The Section 4 hardness construction, exercised end to end.
+
+Reduces YES-instances of numerical 3-dimensional matching to MROAM and
+measures which solvers recover the zero-regret plan the reduction promises.
+This doubles as a worst-case stress test: the reduced instances are exactly
+the structures that make greedy methods fail.
+"""
+
+from repro.algorithms.registry import PAPER_METHODS, make_solver
+from repro.theory.hardness import matching_to_allocation, reduce_n3dm_to_mroam
+from repro.theory.n3dm import find_matching, yes_instance
+
+
+def run_reduction_suite():
+    rows = []
+    for seed in range(5):
+        instance = yes_instance(3, seed=seed)
+        mroam = reduce_n3dm_to_mroam(instance)
+        matching = find_matching(instance)
+        oracle = matching_to_allocation(mroam, matching).total_regret()
+        row = {"seed": seed, "oracle": oracle}
+        for method in PAPER_METHODS:
+            result = make_solver(method, seed=seed, restarts=3).solve(mroam)
+            row[method] = result.total_regret
+        rows.append(row)
+    return rows
+
+
+def test_ablation_theory(benchmark):
+    rows = benchmark.pedantic(run_reduction_suite, rounds=1, iterations=1)
+
+    print("\nN3DM-reduced instances (zero regret achievable on all):")
+    for row in rows:
+        cells = " ".join(f"{m}={row[m]:.2f}" for m in PAPER_METHODS)
+        print(f"  seed={row['seed']} oracle={row['oracle']:.2f} {cells}")
+
+    zero_recovery = {
+        method: sum(1 for row in rows if row[method] < 1e-9) for method in PAPER_METHODS
+    }
+    print(f"zero-regret recovery counts: {zero_recovery}")
+
+    # The matching-derived plan is always zero regret (the reduction's promise).
+    assert all(row["oracle"] == 0.0 for row in rows)
+    # The local searches recover the optimum at least as often as the greedy
+    # baselines — the hardness structure is what defeats pure greedy.
+    assert zero_recovery["bls"] >= zero_recovery["g-global"]

@@ -1,0 +1,36 @@
+"""F10: impact of the unsatisfied penalty ratio γ on NYC (Figure 10).
+
+The paper observes: as γ grows, the host recovers a larger fraction of the
+payment from partially-served advertisers, so every algorithm's regret
+drops.
+"""
+
+from benchmarks.conftest import GAMMAS, cached_sweep
+from repro.experiments.reporting import format_regret_table
+
+
+def test_fig10(benchmark, cities, sweep_store):
+    result = benchmark.pedantic(
+        lambda: cached_sweep(sweep_store, cities, "nyc", "gamma", GAMMAS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_regret_table(result, "Figure 10: regret vs gamma (NYC)", "{:.2f}"))
+
+    # γ only matters for unsatisfied advertisers: where a method's γ=0 plan
+    # carries an unsatisfied penalty, raising γ to 1 must reduce its regret
+    # (the host recovers the pro-rata payment).  Fully-satisfied plans only
+    # see γ through greedy tie-breaking noise, so they are exempt.
+    low_gamma = result.values[0]
+    for method in ("g-order", "g-global", "als", "bls"):
+        baseline = result.cells[low_gamma][method]
+        if baseline.unsatisfied_penalty > 0.05 * max(baseline.total_regret, 1e-9):
+            series = result.series(method)
+            if method == "bls":
+                # The local search tracks the γ relief faithfully.
+                assert series[-1] < series[0], method
+            else:
+                # Greedy plans are re-derived per γ, so small wiggles are
+                # allowed; the relief must still hold within 15 %.
+                assert series[-1] <= series[0] * 1.15, method

@@ -1,0 +1,45 @@
+"""F12: impact of the influence radius λ (Figure 12).
+
+Paper shapes: in NYC, growing λ proportionally grows supply and demand, so
+regret grows with λ.  In SG, billboards sit at bus stops ≈420 m apart, so
+coverage (and regret) barely move for λ ≤ 150 m, with an uptick at 200 m
+when stops near route intersections start reaching trips of crossing routes.
+"""
+
+from benchmarks.conftest import LAMBDAS, cached_sweep
+from repro.experiments.reporting import format_regret_table
+
+
+def test_fig12(benchmark, cities, sweep_store):
+    results = benchmark.pedantic(
+        lambda: {
+            dataset: cached_sweep(sweep_store, cities, dataset, "lambda_m", LAMBDAS)
+            for dataset in ("nyc", "sg")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for dataset, result in results.items():
+        print(
+            format_regret_table(
+                result, f"Figure 12 ({dataset.upper()}): regret vs lambda", "{:.0f}"
+            )
+        )
+        print()
+
+    # NYC: supply grows strongly with λ, and with α fixed the (scaled)
+    # demands grow with it, so the greedy baseline's regret grows end-to-end.
+    nyc = results["nyc"]
+    nyc_supply = {
+        lam: cities("nyc").coverage(lam).supply for lam in nyc.values
+    }
+    assert nyc_supply[nyc.values[-1]] > 1.5 * nyc_supply[nyc.values[0]]
+    assert nyc.series("g-global")[-1] > nyc.series("g-global")[0]
+
+    # SG: λ-insensitive below the stop spacing...
+    sg_supply = {lam: cities("sg").coverage(lam).supply for lam in LAMBDAS}
+    if 150.0 in sg_supply:
+        assert sg_supply[150.0] <= 1.30 * sg_supply[50.0]
+    # ...with an uptick at 200 m (crossing routes come into range).
+    assert sg_supply[200.0] > sg_supply[LAMBDAS[-2]]

@@ -1,0 +1,65 @@
+"""F1: influence and impression-count distributions (Figure 1).
+
+Figure 1a: per-billboard influence (descending, normalized by the maximum).
+Figure 1b: fraction of trajectories covered when the top x % of billboards
+are selected.  The paper's signature shapes: NYC keeps proportionally more
+high-influence billboards, and its impression curve rises more slowly than
+SG's because the top NYC billboards cover overlapping audiences.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_distribution_table
+
+FRACTIONS = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+QUANTILES = (0.1, 0.25, 0.5, 0.75)
+
+
+def build_distributions(cities):
+    data = {}
+    for dataset in ("nyc", "sg"):
+        coverage = cities(dataset).coverage(100.0)
+        data[dataset] = {
+            "influence": coverage.influence_distribution(),
+            "impressions": coverage.impression_curve(FRACTIONS),
+        }
+    return data
+
+
+def test_fig1(benchmark, cities):
+    data = benchmark.pedantic(lambda: build_distributions(cities), rounds=1, iterations=1)
+
+    fig1a = {
+        name.upper(): [
+            data[name]["influence"][int(q * len(data[name]["influence"]))]
+            for q in QUANTILES
+        ]
+        for name in ("nyc", "sg")
+    }
+    print()
+    print(
+        format_distribution_table(
+            list(QUANTILES), fig1a, "Figure 1a: influence / max at billboard quantile"
+        )
+    )
+    fig1b = {name.upper(): data[name]["impressions"].tolist() for name in ("nyc", "sg")}
+    print()
+    print(
+        format_distribution_table(
+            list(FRACTIONS), fig1b, "Figure 1b: impression fraction vs % billboards"
+        )
+    )
+
+    nyc_curve = data["nyc"]["impressions"]
+    sg_curve = data["sg"]["impressions"]
+    # Fig 1b shape: the SG curve dominates (rises faster than) NYC's.
+    assert np.all(sg_curve >= nyc_curve)
+    # Fig 1a shape: NYC's head is proportionally stronger (more high-influence
+    # billboards relative to its own maximum).
+    nyc_influence = data["nyc"]["influence"]
+    sg_influence = data["sg"]["influence"]
+    head = int(0.25 * min(len(nyc_influence), len(sg_influence)))
+    assert nyc_influence[head] >= sg_influence[head]
+    # Both curves are monotone by construction.
+    assert np.all(np.diff(nyc_curve) >= 0)
+    assert np.all(np.diff(sg_curve) >= 0)

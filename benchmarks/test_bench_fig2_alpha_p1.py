@@ -1,0 +1,20 @@
+"""F2: regret vs demand–supply ratio α at p(Ī^A) = 1 % (Figure 2, NYC).
+
+Case 1 / Case 3 of the paper: many small advertisers.  At low α everyone is
+satisfied and regret is excessive influence; at α ≥ 100 % the unsatisfied
+penalty dominates and the local searches shine.
+"""
+
+from benchmarks._alpha_figure import run_alpha_figure
+
+
+def test_fig2(benchmark, cities, sweep_store):
+    result = run_alpha_figure(
+        benchmark, cities, sweep_store, "nyc", 0.01,
+        "Figure 2: regret vs alpha (NYC, p=1%)",
+    )
+    # Case 1: at the lowest α every advertiser is satisfiable — BLS satisfies
+    # all of them (or deliberately sacrifices only when that is cheaper).
+    low = result.values[0]
+    bls_low = result.cells[low]["bls"]
+    assert bls_low.satisfied_advertisers >= bls_low.num_advertisers - 1

@@ -1,0 +1,15 @@
+"""F3: regret vs α at p(Ī^A) = 2 % (Figure 3, NYC, |A| = 50 at α = 100 %)."""
+
+from benchmarks._alpha_figure import run_alpha_figure
+from repro.market.demand import advertiser_count
+
+
+def test_fig3(benchmark, cities, sweep_store):
+    result = run_alpha_figure(
+        benchmark, cities, sweep_store, "nyc", 0.02,
+        "Figure 3: regret vs alpha (NYC, p=2%)",
+    )
+    # The paper's caption: |A| = 50 at the default α = 100 %.
+    assert advertiser_count(1.0, 0.02) == 50
+    if 1.0 in result.values:
+        assert result.cells[1.0]["bls"].num_advertisers == 50

@@ -1,0 +1,20 @@
+"""F4: regret vs α at the default p(Ī^A) = 5 % (Figure 4, NYC, |A| = 20).
+
+This sweep's wall-clock measurements also feed Figure 8 (runtime vs α).
+"""
+
+from benchmarks._alpha_figure import run_alpha_figure
+
+
+def test_fig4(benchmark, cities, sweep_store):
+    result = run_alpha_figure(
+        benchmark, cities, sweep_store, "nyc", 0.05,
+        "Figure 4: regret vs alpha (NYC, p=5%, default)",
+    )
+    # Case 2 claim: at low α with sizeable advertisers, BLS reaches (almost)
+    # zero regret while the greedies retain visible regret.
+    low = result.values[0]
+    cell = result.cells[low]
+    assert cell["bls"].total_regret <= 0.1 * max(cell["g-global"].total_regret, 1e-9) or (
+        cell["bls"].total_regret < 1.0
+    )

@@ -1,0 +1,13 @@
+"""F5: regret vs α at p(Ī^A) = 10 % (Figure 5, NYC, |A| = 10 at α = 100 %)."""
+
+from benchmarks._alpha_figure import run_alpha_figure
+
+
+def test_fig5(benchmark, cities, sweep_store):
+    result = run_alpha_figure(
+        benchmark, cities, sweep_store, "nyc", 0.10,
+        "Figure 5: regret vs alpha (NYC, p=10%)",
+    )
+    # Case 2: BLS nearly zero at low α with big advertisers.
+    low = result.values[0]
+    assert result.cells[low]["bls"].total_regret <= result.cells[low]["g-order"].total_regret + 1e-6

@@ -1,0 +1,23 @@
+"""F6: regret vs α at p(Ī^A) = 20 % (Figure 6, NYC, |A| = 5 at α = 100 %).
+
+Case 4 of the paper: a few huge advertisers.  At high α every miss is very
+expensive, all methods carry large regret, and the local searches' advantage
+narrows (but stays).
+"""
+
+from benchmarks._alpha_figure import run_alpha_figure
+
+
+def test_fig6(benchmark, cities, sweep_store):
+    result = run_alpha_figure(
+        benchmark, cities, sweep_store, "nyc", 0.20,
+        "Figure 6: regret vs alpha (NYC, p=20%)",
+    )
+    # Case 4: at the tightest market the absolute regret is much larger than
+    # in the loosest one (big advertisers make every miss expensive).
+    low, high = result.values[0], result.values[-1]
+    assert (
+        result.cells[high]["g-global"].total_regret
+        >= 2.0 * result.cells[low]["g-global"].total_regret
+        or result.cells[low]["g-global"].total_regret == 0.0
+    )

@@ -1,0 +1,22 @@
+"""F7: the SG dataset under default settings (Figure 7).
+
+The paper reports SG at the default parameters and observes the same method
+ordering as NYC with *smaller excessive-influence proportions* (bus-stop
+billboards have low, uniform influence with little overlap, so plans can be
+packed tightly).  This sweep's measurements also feed Figure 8's SG runtime
+series.
+"""
+
+from benchmarks._alpha_figure import run_alpha_figure
+
+
+def test_fig7(benchmark, cities, sweep_store):
+    result = run_alpha_figure(
+        benchmark, cities, sweep_store, "sg", 0.05,
+        "Figure 7: regret vs alpha (SG, p=5%, default)",
+    )
+    # SG signature: BLS's excessive influence is (near) zero — finer-grained
+    # billboards allow exact packing.
+    for alpha in result.values:
+        cell = result.cells[alpha]["bls"]
+        assert cell.excessive_influence <= max(0.05 * cell.total_regret, 5.0)

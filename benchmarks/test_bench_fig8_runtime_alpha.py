@@ -1,0 +1,38 @@
+"""F8: running time vs α (Figure 8).
+
+Reports the wall-clock seconds measured during the α sweeps of Figure 4
+(NYC) and Figure 7 (SG) — the paper likewise derives its efficiency plots
+from the effectiveness runs.  Shape: the greedies are far cheaper than the
+local searches, and search cost grows as the market tightens.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import alpha_sweep
+from repro.experiments.reporting import format_runtime_table
+
+
+def test_fig8(benchmark, cities, sweep_store):
+    results = benchmark.pedantic(
+        lambda: {
+            dataset: alpha_sweep(sweep_store, cities, dataset, 0.05)
+            for dataset in ("nyc", "sg")
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for dataset, result in results.items():
+        print(format_runtime_table(result, f"Figure 8 ({dataset.upper()}): runtime vs alpha"))
+        print()
+
+    for dataset, result in results.items():
+        greedy_mean = np.mean(result.series("g-global", "runtime_s"))
+        als_mean = np.mean(result.series("als", "runtime_s"))
+        bls_mean = np.mean(result.series("bls", "runtime_s"))
+        # G-Order ≈ G-Global ≪ ALS < BLS.
+        assert greedy_mean < als_mean < bls_mean, dataset
+        # Search cost grows with α (compare the loosest and tightest markets).
+        bls_series = result.series("bls", "runtime_s")
+        assert bls_series[-1] > bls_series[0], dataset

@@ -1,0 +1,47 @@
+"""F9: running time vs p(Ī^A) (Figure 9).
+
+Sweeps the average-individual demand ratio at the default α = 100 % on both
+datasets and reports each method's wall-clock seconds.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import P_AVGS, cached_sweep
+from repro.experiments.reporting import format_regret_table, format_runtime_table
+
+
+def test_fig9(benchmark, cities, sweep_store):
+    results = benchmark.pedantic(
+        lambda: {
+            dataset: cached_sweep(sweep_store, cities, dataset, "p_avg", P_AVGS)
+            for dataset in ("nyc", "sg")
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for dataset, result in results.items():
+        print(
+            format_runtime_table(
+                result, f"Figure 9 ({dataset.upper()}): runtime vs p(avg demand)"
+            )
+        )
+        print()
+        # The regret side of the same sweep (the paper's Case 1↔2 and 3↔4
+        # transitions read along p).
+        print(
+            format_regret_table(
+                result, f"Regret vs p at alpha=100% ({dataset.upper()})"
+            )
+        )
+        print()
+
+    for dataset, result in results.items():
+        greedy_mean = np.mean(result.series("g-global", "runtime_s"))
+        bls_mean = np.mean(result.series("bls", "runtime_s"))
+        assert greedy_mean < bls_mean, dataset
+        # Quality ordering holds across the p sweep too.
+        for p_value in result.values:
+            cell = result.cells[p_value]
+            assert cell["bls"].total_regret <= cell["g-global"].total_regret + 1e-6

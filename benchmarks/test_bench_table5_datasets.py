@@ -1,0 +1,38 @@
+"""T5: dataset statistics (Table 5 of the paper).
+
+Prints |T|, |U|, average trip distance and travel time for the two bench
+cities and asserts they track the paper's real-data statistics (NYC: 2.9 km,
+569 s; SG: 4.2 km, 1342 s) within generator tolerance.
+"""
+
+from benchmarks.conftest import bench_scenario
+from repro.trajectory.stats import summarize
+
+
+def build_stats(cities):
+    rows = {}
+    for dataset in ("nyc", "sg"):
+        city = cities(dataset)
+        rows[dataset] = (city, summarize(city.trajectories))
+    return rows
+
+
+def test_table5(benchmark, cities):
+    rows = benchmark.pedantic(lambda: build_stats(cities), rounds=1, iterations=1)
+
+    print("\nTable 5 (dataset statistics, scaled reproduction):")
+    for dataset, (city, stats) in rows.items():
+        print(" ", stats.as_table5_row(city.name, len(city.billboards)))
+
+    nyc_stats = rows["nyc"][1]
+    sg_stats = rows["sg"][1]
+    # Shapes from the paper: SG trips are longer and much slower than NYC's.
+    assert sg_stats.avg_distance_m > nyc_stats.avg_distance_m
+    assert sg_stats.avg_travel_time_s > 1.5 * nyc_stats.avg_travel_time_s
+    # Absolute scale within tolerance of Table 5.
+    assert 0.7 * 2_900 <= nyc_stats.avg_distance_m <= 1.3 * 2_900
+    assert 0.7 * 569 <= nyc_stats.avg_travel_time_s <= 1.3 * 569
+    assert 0.7 * 4_200 <= sg_stats.avg_distance_m <= 1.3 * 4_200
+    assert 0.7 * 1_342 <= sg_stats.avg_travel_time_s <= 1.3 * 1_342
+    # |U|: SG has the larger inventory (paper: 4092 vs 1462).
+    assert len(rows["sg"][0].billboards) > len(rows["nyc"][0].billboards)

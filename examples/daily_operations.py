@@ -1,0 +1,73 @@
+"""Daily operations: proposals arriving one at a time.
+
+The paper's batch solvers assume the whole proposal book is known.  Real
+hosts (the paper's intro: "the host needs to deal with multiple advertisers
+coming every day") operate online: each incoming proposal is *quoted* —
+"what does accepting this do to my regret?" — then accepted or declined,
+with a full re-optimization overnight.
+
+This example drives :class:`repro.market.OnlineHost` through a day:
+
+1. quote each incoming proposal against the current book;
+2. accept the attractive ones, decline the ones that would blow up regret;
+3. run the nightly full local search and compare.
+
+Run with::
+
+    python examples/daily_operations.py
+"""
+
+from repro.analysis import market_summary, plan_report
+from repro.datasets import generate_nyc
+from repro.market import OnlineHost
+
+#: Today's inbox: (advertiser, demand as a fraction of supply, rate).
+INBOX = [
+    ("Coffee chain", 0.08, 1.05),
+    ("Phone carrier", 0.20, 1.00),
+    ("Indie theatre", 0.03, 0.95),
+    ("Ride hailing app", 0.25, 1.10),
+    ("Furniture outlet", 0.12, 0.90),
+    ("Energy drink", 0.18, 1.00),
+    ("Language school", 0.05, 1.00),
+    ("Luxury watches", 0.30, 1.20),  # huge — likely unserviceable by now
+]
+
+
+def main() -> None:
+    city = generate_nyc(n_billboards=400, n_trajectories=5_000, seed=33)
+    coverage = city.coverage(lambda_m=100.0)
+    host = OnlineHost(coverage, gamma=0.5, repair_sweeps=2, seed=33)
+    supply = coverage.supply
+
+    print(f"Inventory ready: |U|={coverage.num_billboards}, supply I*={supply:,}")
+    print()
+    accepted = 0
+    for name, fraction, rate in INBOX:
+        demand = max(1, int(fraction * supply))
+        payment = float(int(rate * demand))
+        quote = host.quote(demand, payment, name=name)
+        verdict = "ACCEPT" if quote.attractive else "DECLINE"
+        print(
+            f"{name:<18} demand={demand:>6,} payment=${payment:>8,.0f} "
+            f"regret {quote.regret_before:>8.1f} -> {quote.regret_after:>8.1f} "
+            f"satisfiable={'Y' if quote.would_satisfy else 'N'}  => {verdict}"
+        )
+        if quote.attractive:
+            host.accept(demand, payment, name=name)
+            accepted += 1
+
+    print()
+    print(f"Book at end of day: {accepted} campaigns, regret={host.total_regret():.1f}")
+    print(market_summary(host.instance()).describe())
+    print()
+
+    nightly = host.reoptimize(restarts=3)
+    print(f"After nightly re-optimization: regret={nightly:.1f}")
+    print()
+    for row in plan_report(host.allocation):
+        print(" ", row.as_row())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Digital billboards: selling the same panel in time slots.
+
+Section 3.2 of the paper notes a digital billboard is just "multiple
+billboards, one for a certain time slot".  This example makes the economics
+visible:
+
+1. build a city whose trips carry rush-hour departure times;
+2. expand the physical inventory into 4 time-slot virtual billboards;
+3. sell the *same* demand book against the static inventory and against the
+   digital one, and compare regret — time slicing lets the host serve
+   time-disjoint audiences with the same panel, growing effective supply.
+
+Run with::
+
+    python examples/digital_billboards.py
+"""
+
+from repro import Advertiser, MROAMInstance, make_solver
+from repro.billboard.digital import day_slots, expand_digital
+from repro.datasets import generate_nyc
+
+
+def contracts(supply: int) -> list[tuple[int, float]]:
+    """A demand book sized against the given supply."""
+    fractions = (0.30, 0.25, 0.20, 0.15, 0.10, 0.10)
+    return [(max(1, int(f * supply)), float(int(f * supply))) for f in fractions]
+
+
+def solve(instance: MROAMInstance, label: str) -> float:
+    result = make_solver("bls", seed=5, restarts=2).solve(instance)
+    breakdown = result.breakdown
+    print(
+        f"{label:<22} regret={result.total_regret:>9.1f} "
+        f"(unsat {breakdown.unsatisfied_penalty:>8.1f} / excess {breakdown.excessive_influence:>7.1f}) "
+        f"satisfied={result.satisfied_count}/{instance.num_advertisers}"
+    )
+    return result.total_regret
+
+
+def main() -> None:
+    city = generate_nyc(n_billboards=250, n_trajectories=4_000, seed=17)
+    physical = city.coverage(lambda_m=100.0)
+
+    slots = day_slots(4)
+    expansion = expand_digital(physical, city.trajectories, slots=slots)
+    print(f"Physical inventory: {physical.num_billboards} panels, supply={physical.supply:,}")
+    print(
+        f"Digital inventory:  {expansion.num_virtual} virtual billboards "
+        f"({len(slots)} slots/panel), supply={expansion.coverage.supply:,}"
+    )
+    for slot in slots:
+        slot_supply = sum(
+            expansion.coverage.influence_of(expansion.virtual_id(panel, slot.slot_id))
+            for panel in range(physical.num_billboards)
+        )
+        print(f"  slot {slot.label()}: supply {slot_supply:,}")
+    print()
+
+    # The same (static-supply-sized) demand book on both inventories.
+    book = contracts(physical.supply)
+    print(f"Demand book: {[demand for demand, _ in book]} (total "
+          f"{sum(d for d, _ in book):,} vs physical supply {physical.supply:,})")
+    print()
+
+    static_instance = MROAMInstance(
+        physical, [Advertiser(i, d, p) for i, (d, p) in enumerate(book)], gamma=0.5
+    )
+    digital_instance = MROAMInstance(
+        expansion.coverage, [Advertiser(i, d, p) for i, (d, p) in enumerate(book)], gamma=0.5
+    )
+
+    static_regret = solve(static_instance, "Static panels")
+    digital_regret = solve(digital_instance, "Digital (4 slots)")
+    print()
+    if digital_regret < static_regret:
+        print("Time slicing reduced the host's regret: the same panel now serves")
+        print("time-disjoint audiences for different advertisers.")
+    else:
+        print("Time slicing did not pay off for this book (slot audiences are")
+        print("too thin relative to the demands).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Market stress analysis: the paper's Q1 and Q2, as a host would ask them.
+
+Q1 — what happens when the global demand is far below, close to, or above
+     my total supply?
+Q2 — am I better off with a few big advertisers or many small ones?
+
+This example sweeps the demand–supply ratio α and the average-individual
+demand ratio p(Ī^A) on a scaled NYC-like market, prints the regret landscape
+for the recommended method (BLS) vs the greedy baseline, and restates the
+paper's Section 7.2 guidance in terms of the measured numbers.
+
+Run with::
+
+    python examples/market_stress_analysis.py
+"""
+
+from repro.experiments.harness import sweep
+from repro.market import Scenario
+
+ALPHAS = (0.4, 0.8, 1.0, 1.2)
+P_AVGS = (0.02, 0.05, 0.10)
+
+
+def main() -> None:
+    base = Scenario(
+        dataset="nyc", n_billboards=300, n_trajectories=4_000, seed=5
+    )
+    city = base.build_city()
+    methods = ("g-global", "bls")
+
+    print("Q1: vary global demand (alpha) at the default advertiser size (p=5%)")
+    print(f"{'alpha':>7} | {'G-Global':>12} | {'BLS':>12} | {'BLS unsat%':>10} | {'BLS excess%':>11}")
+    alpha_result = sweep(base, "alpha", ALPHAS, methods=methods, restarts=2, city=city)
+    for alpha in ALPHAS:
+        greedy = alpha_result.metric(alpha, "g-global")
+        bls = alpha_result.metric(alpha, "bls")
+        print(
+            f"{alpha:>6.0%} | {greedy.total_regret:>12.1f} | {bls.total_regret:>12.1f} "
+            f"| {bls.unsatisfied_pct:>9.1f}% | {bls.excessive_pct:>10.1f}%"
+        )
+    print()
+    print("Reading: at low alpha regret is (small) excessive influence; once the")
+    print("market tightens past alpha=100% the unsatisfied penalty takes over and")
+    print("allocation quality (BLS vs greedy) matters most. (Paper Q1.)")
+    print()
+
+    print("Q2: vary advertiser granularity (p) at a tight market (alpha=100%)")
+    print(f"{'p(avg)':>7} | {'|A|':>4} | {'G-Global':>12} | {'BLS':>12} | {'BLS satisfied':>13}")
+    p_result = sweep(base, "p_avg", P_AVGS, methods=methods, restarts=2, city=city)
+    for p_avg in P_AVGS:
+        greedy = p_result.metric(p_avg, "g-global")
+        bls = p_result.metric(p_avg, "bls")
+        print(
+            f"{p_avg:>6.0%} | {bls.num_advertisers:>4} | {greedy.total_regret:>12.1f} "
+            f"| {bls.total_regret:>12.1f} | {bls.satisfied_advertisers:>6}/{bls.num_advertisers}"
+        )
+    print()
+    print("Reading: with the same global demand, many medium advertisers give the")
+    print("host more packing flexibility and a smaller penalty per miss than a few")
+    print("huge ones. (Paper Q2: a large base of medium-demand advertisers is the")
+    print("ideal balance.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a reproduction of "Minimizing the Regret of an Influence Provider"
+(Zhang, Li, Bao, Zheng, Jagadish — SIGMOD 2021).
+
+The package implements the MROAM problem end to end:
+
+* the coverage influence model over billboards and user trajectories
+  (:mod:`repro.billboard`, :mod:`repro.trajectory`, :mod:`repro.spatial`);
+* the regret objective and incremental allocation state (:mod:`repro.core`);
+* the paper's four methods — G-Order, G-Global, ALS, BLS
+  (:mod:`repro.algorithms`);
+* the NP-hardness reduction and the dual-objective analysis
+  (:mod:`repro.theory`);
+* synthetic NYC/SG dataset simulators (:mod:`repro.datasets`), the market
+  workload model (:mod:`repro.market`), and the experiment harness that
+  regenerates every table and figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import MROAMInstance, make_solver
+    from repro.market import Scenario
+
+    instance = Scenario(dataset="nyc", n_billboards=300,
+                        n_trajectories=5000, seed=1).build_instance()
+    result = make_solver("bls", seed=1).solve(instance)
+    print(result.total_regret, result.breakdown)
+"""
+
+from repro.algorithms import (
+    BudgetEffectiveGreedy,
+    ExhaustiveSolver,
+    RandomizedLocalSearch,
+    Solver,
+    SolverResult,
+    SynchronousGreedy,
+    make_solver,
+)
+from repro.billboard import Billboard, BillboardDB, CoverageIndex
+from repro.core import (
+    Advertiser,
+    Allocation,
+    MROAMInstance,
+    RegretBreakdown,
+    dual_objective,
+    regret,
+)
+from repro.market import Scenario
+from repro.trajectory import Trajectory, TrajectoryDB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Advertiser",
+    "Allocation",
+    "Billboard",
+    "BillboardDB",
+    "BudgetEffectiveGreedy",
+    "CoverageIndex",
+    "ExhaustiveSolver",
+    "MROAMInstance",
+    "RandomizedLocalSearch",
+    "RegretBreakdown",
+    "Scenario",
+    "Solver",
+    "SolverResult",
+    "SynchronousGreedy",
+    "Trajectory",
+    "TrajectoryDB",
+    "dual_objective",
+    "make_solver",
+    "regret",
+]

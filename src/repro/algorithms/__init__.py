@@ -1,0 +1,44 @@
+"""MROAM solvers (paper Sections 5 and 6).
+
+Four methods are evaluated in the paper:
+
+* **G-Order** (:class:`BudgetEffectiveGreedy`) — Algorithm 1, serves
+  advertisers in descending budget-effectiveness ``L_i/I_i``.
+* **G-Global** (:class:`SynchronousGreedy`) — Algorithm 2, serves all
+  unsatisfied advertisers round-robin, releasing the least budget-effective
+  ones when the inventory runs dry.
+* **ALS** (:class:`RandomizedLocalSearch` with the advertiser-driven
+  neighbourhood) — Algorithms 3 + 4.
+* **BLS** (:class:`RandomizedLocalSearch` with the billboard-driven
+  neighbourhood) — Algorithms 3 + 5, with the `(1+r)`-approximate local
+  maximum guarantee on the dual objective (Theorem 2).
+
+:func:`make_solver` resolves the paper's method names (``"g-order"``,
+``"g-global"``, ``"als"``, ``"bls"``).
+"""
+
+from repro.algorithms.als import advertiser_driven_local_search
+from repro.algorithms.annealing import SimulatedAnnealingSolver
+from repro.algorithms.base import Solver, SolverResult
+from repro.algorithms.bls import billboard_driven_local_search
+from repro.algorithms.branch_and_bound import BranchAndBoundSolver
+from repro.algorithms.exhaustive import ExhaustiveSolver
+from repro.algorithms.greedy_global import SynchronousGreedy
+from repro.algorithms.greedy_order import BudgetEffectiveGreedy
+from repro.algorithms.local_search import RandomizedLocalSearch
+from repro.algorithms.registry import PAPER_METHODS, make_solver
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "BudgetEffectiveGreedy",
+    "ExhaustiveSolver",
+    "SimulatedAnnealingSolver",
+    "PAPER_METHODS",
+    "RandomizedLocalSearch",
+    "Solver",
+    "SolverResult",
+    "SynchronousGreedy",
+    "advertiser_driven_local_search",
+    "billboard_driven_local_search",
+    "make_solver",
+]

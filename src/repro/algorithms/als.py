@@ -1,0 +1,45 @@
+"""Advertiser-driven local search (paper Algorithm 4).
+
+The neighbourhood of a plan is every plan reachable by exchanging the *whole*
+billboard sets of two advertisers.  Because influence depends only on the
+set, each candidate exchange is priced from the two influence scalars alone,
+making this the cheap-but-coarse member of the framework: it can rescue a
+plan where one advertiser hogs a large set, but cannot rebalance individual
+billboards.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import Allocation
+from repro.core.moves import delta_exchange_sets
+
+
+def advertiser_driven_local_search(
+    allocation: Allocation,
+    min_improvement: float = 1e-9,
+    stats: dict | None = None,
+) -> Allocation:
+    """Run Algorithm 4 in place; returns the same (improved) allocation.
+
+    Sweeps all ordered advertiser pairs, applying any set exchange that
+    strictly reduces total regret, until a full sweep finds no improving
+    exchange.  ``min_improvement`` guards against float-noise cycling.
+    """
+    num_advertisers = allocation.instance.num_advertisers
+    sweeps = 0
+    exchanges = 0
+    improved = True
+    while improved:
+        improved = False
+        sweeps += 1
+        for advertiser_a in range(num_advertisers):
+            for advertiser_b in range(advertiser_a + 1, num_advertisers):
+                delta = delta_exchange_sets(allocation, advertiser_a, advertiser_b)
+                if delta < -min_improvement:
+                    allocation.exchange_sets(advertiser_a, advertiser_b)
+                    exchanges += 1
+                    improved = True
+    if stats is not None:
+        stats["als_sweeps"] = stats.get("als_sweeps", 0) + sweeps
+        stats["als_exchanges"] = stats.get("als_exchanges", 0) + exchanges
+    return allocation

@@ -1,0 +1,119 @@
+"""Simulated annealing over the billboard-level move set.
+
+An extension baseline (not in the paper): the paper's Section 6 framework is
+restart + strictly-improving local search; annealing explores the same
+neighbourhood — assign, release, exchange — but accepts worsening moves with
+Metropolis probability ``exp(−Δ/T)`` under a geometric cooling schedule.
+Included to let users check whether MROAM's landscape rewards the paper's
+choice (the ablation bench compares the two at matched budgets).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import Solver
+from repro.algorithms.greedy_global import SynchronousGreedy
+from repro.core.allocation import UNASSIGNED, Allocation
+from repro.core.moves import delta_assign, delta_exchange_billboards, delta_release
+from repro.core.problem import MROAMInstance
+from repro.utils.rng import as_generator
+
+
+class SimulatedAnnealingSolver(Solver):
+    """Metropolis search over assign/release/exchange moves.
+
+    Parameters
+    ----------
+    steps:
+        Number of proposed moves.
+    initial_temperature:
+        Starting temperature, in regret units.  ``None`` self-calibrates to
+        a fraction of the greedy plan's regret (or of the total payment when
+        the greedy already reaches zero).
+    cooling:
+        Geometric decay per step (``T ← T · cooling``).
+    seed:
+        RNG seed or generator.
+    """
+
+    name = "SA"
+
+    def __init__(
+        self,
+        steps: int = 20_000,
+        initial_temperature: float | None = None,
+        cooling: float = 0.9995,
+        seed=None,
+    ) -> None:
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        if not 0.0 < cooling <= 1.0:
+            raise ValueError(f"cooling must be in (0, 1], got {cooling}")
+        self.steps = steps
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.seed = seed
+
+    def _propose(self, allocation: Allocation, rng: np.random.Generator):
+        """One random move as ``(delta, apply_callable)`` or ``None``."""
+        instance = allocation.instance
+        kind = rng.integers(0, 3)
+        if kind == 0 and allocation.unassigned:  # assign
+            billboard_id = int(rng.choice(sorted(allocation.unassigned)))
+            advertiser_id = int(rng.integers(instance.num_advertisers))
+            delta = delta_assign(allocation, billboard_id, advertiser_id)
+            return delta, lambda: allocation.assign(billboard_id, advertiser_id)
+        if kind == 1:  # release
+            assigned = np.nonzero(allocation.owners != UNASSIGNED)[0]
+            if len(assigned) == 0:
+                return None
+            billboard_id = int(rng.choice(assigned))
+            delta = delta_release(allocation, billboard_id)
+            return delta, lambda: allocation.release(billboard_id)
+        # exchange two random billboards (possibly one unassigned)
+        billboard_a, billboard_b = rng.integers(0, instance.num_billboards, size=2)
+        if billboard_a == billboard_b:
+            return None
+        if allocation.owner_of(int(billboard_a)) == allocation.owner_of(int(billboard_b)):
+            return None
+        delta = delta_exchange_billboards(allocation, int(billboard_a), int(billboard_b))
+        return delta, lambda: allocation.exchange_billboards(
+            int(billboard_a), int(billboard_b)
+        )
+
+    def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
+        rng = as_generator(self.seed)
+        allocation = SynchronousGreedy().solve(instance).allocation
+        current_regret = allocation.total_regret()
+        best = allocation.clone()
+        best_regret = current_regret
+
+        temperature = self.initial_temperature
+        if temperature is None:
+            scale = current_regret if current_regret > 0 else instance.total_payment()
+            temperature = max(0.05 * scale, 1e-6)
+
+        accepted = 0
+        for _ in range(self.steps):
+            proposal = self._propose(allocation, rng)
+            temperature *= self.cooling
+            if proposal is None:
+                continue
+            delta, apply_move = proposal
+            if delta <= 0 or rng.random() < math.exp(
+                -delta / max(temperature, 1e-12)
+            ):
+                apply_move()
+                current_regret += delta
+                accepted += 1
+                if current_regret < best_regret - 1e-12:
+                    best_regret = current_regret
+                    best = allocation.clone()
+
+        stats["sa_steps"] = self.steps
+        stats["sa_accepted"] = accepted
+        stats["sa_final_temperature"] = temperature
+        return best

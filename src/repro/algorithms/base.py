@@ -1,0 +1,77 @@
+"""Solver interface shared by all MROAM methods."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.core.regret import RegretBreakdown
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one solver run.
+
+    Attributes
+    ----------
+    allocation:
+        The deployment plan found (callers must not mutate it).
+    total_regret:
+        ``R(S)`` of the plan.
+    breakdown:
+        The regret split into unsatisfied-penalty and excessive-influence
+        components (the stacked bars of the paper's figures).
+    runtime_s:
+        Wall-clock seconds spent inside :meth:`Solver.solve`.
+    stats:
+        Solver-specific counters (iterations, accepted moves, …).
+    """
+
+    allocation: Allocation
+    total_regret: float
+    breakdown: RegretBreakdown
+    runtime_s: float
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def satisfied_count(self) -> int:
+        """Number of advertisers whose demand is met."""
+        instance = self.allocation.instance
+        return sum(
+            self.allocation.is_satisfied(i) for i in range(instance.num_advertisers)
+        )
+
+
+class Solver(abc.ABC):
+    """Base class for MROAM solvers.
+
+    Subclasses implement :meth:`_solve` returning an :class:`Allocation`;
+    :meth:`solve` wraps it with timing and result packaging.
+    """
+
+    #: Paper name of the method (e.g. ``"G-Order"``); set by subclasses.
+    name: str = "solver"
+
+    def solve(self, instance: MROAMInstance) -> SolverResult:
+        """Run the solver and package timing + regret metrics."""
+        watch = Stopwatch()
+        stats: dict = {}
+        with watch:
+            allocation = self._solve(instance, stats)
+        return SolverResult(
+            allocation=allocation,
+            total_regret=allocation.total_regret(),
+            breakdown=allocation.breakdown(),
+            runtime_s=watch.elapsed,
+            stats=stats,
+        )
+
+    @abc.abstractmethod
+    def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
+        """Produce a deployment plan for ``instance``.
+
+        ``stats`` is an output parameter: solvers record counters into it.
+        """

@@ -1,0 +1,269 @@
+"""Billboard-driven local search (paper Algorithm 5).
+
+The fine-grained neighbourhood: starting from the current plan, apply any of
+four move families that reduces total regret, until none does:
+
+1. exchange a billboard of one advertiser with a billboard of another;
+2. exchange an assigned billboard with an unassigned one;
+3. release an assigned billboard back to the pool;
+4. top up with the synchronous greedy over the unassigned pool.
+
+Theorem 2 shows this search reaches a ``(1+r)``-approximate local maximum of
+the dual objective ``R'`` (see :mod:`repro.theory.duality`).
+
+Scanning every billboard pair exactly would cost ``O(|U|²)`` exact delta
+evaluations per sweep.  We keep the search exact but prune with an
+*optimistic improvement bound*: for a candidate exchange, each affected
+advertiser's post-move influence provably lands in an interval derived from
+the two billboards' individual influences, so the best regret reachable over
+that interval upper-bounds the move's improvement.  Candidates are exactly
+evaluated in descending bound order; once bounds fall below the improvement
+threshold, no improving exchange can exist among the rest.  Termination at a
+genuine local minimum is therefore preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms._marginal import regret_values
+from repro.algorithms.greedy_global import synchronous_greedy
+from repro.core.allocation import UNASSIGNED, Allocation
+from repro.core.moves import delta_release
+
+
+def _optimistic_regret(
+    payments: np.ndarray,
+    demands: np.ndarray,
+    gamma: float,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """Minimum Eq. 1 regret reachable with achieved influence in ``[lo, hi]``.
+
+    Regret decreases in the unsatisfied branch, drops to 0 exactly at the
+    demand, and increases in the excessive branch, so the minimum is at the
+    point of the interval closest to the demand.
+    """
+    lo = np.maximum(lo, 0.0)
+    hi = np.maximum(hi, lo)
+    at_hi = payments * (1.0 - gamma * hi / demands)  # still unsatisfied at hi
+    at_lo = payments * (lo - demands) / demands  # already excessive at lo
+    result = np.zeros_like(lo, dtype=np.float64)
+    result = np.where(hi < demands, at_hi, result)
+    result = np.where(lo > demands, at_lo, result)
+    return result
+
+
+def _partner_swap_delta(
+    allocation: Allocation, partner_id: int, lost_billboard: int, gained_billboard: int
+) -> int:
+    """Exact influence change of advertiser ``partner_id`` losing
+    ``lost_billboard`` and gaining ``gained_billboard``.
+
+    Same arithmetic as :func:`repro.core.moves._swap_influence_delta`, inlined
+    here because the partner side is the only per-candidate exact work left in
+    the exchange scan.
+    """
+    coverage = allocation.instance.coverage
+    counts = allocation.counts_row(partner_id)
+    cov_lost = coverage.covered_by(lost_billboard)
+    cov_gained = coverage.covered_by(gained_billboard)
+    loss = int(np.count_nonzero(counts[cov_lost] == 1))
+    if len(cov_lost):
+        positions = np.searchsorted(cov_lost, cov_gained)
+        positions[positions == len(cov_lost)] = len(cov_lost) - 1
+        in_lost = (cov_lost[positions] == cov_gained).astype(np.int32)
+    else:
+        in_lost = np.zeros(len(cov_gained), dtype=np.int32)
+    gain = int(np.count_nonzero(counts[cov_gained] - in_lost == 0))
+    return gain - loss
+
+
+def _find_improving_exchange(
+    allocation: Allocation,
+    advertiser_id: int,
+    billboard_id: int,
+    min_improvement: float,
+) -> int | None:
+    """Best-bound-first search for an improving exchange partner of
+    ``billboard_id`` (owned by ``advertiser_id``), or ``None``.
+
+    The scan temporarily releases ``billboard_id`` so one batch coverage pass
+    yields the *exact* own-side regret delta for every candidate partner:
+    free-candidate exchanges are then fully priced with no per-candidate
+    work, and only the partner advertiser's side of owner↔owner exchanges
+    retains an optimistic interval bound that exact evaluation must confirm.
+    """
+    instance = allocation.instance
+    coverage = instance.coverage
+    individual = coverage.individual_influences.astype(np.float64)
+
+    advertiser = instance.advertisers[advertiser_id]
+    own_influence = float(allocation.influence(advertiser_id))
+    own_regret = instance.regret_of(advertiser_id, own_influence)
+
+    # Temporarily release o_m: the batch gains over the resulting counters
+    # price "S_i - o_m + o_n" exactly for every o_n.  Restored before return.
+    allocation.release(billboard_id)
+    try:
+        released_influence = float(allocation.influence(advertiser_id))
+        gains = coverage.batch_add_gains(allocation.counts_row(advertiser_id))
+
+        owners = allocation.owners
+        candidates = np.arange(instance.num_billboards)
+        mask = (candidates != billboard_id) & (owners != advertiser_id)
+        candidates = candidates[mask]
+        candidate_owners = owners[candidates].copy()
+
+        own_new = released_influence + gains[candidates].astype(np.float64)
+        own_delta = (
+            regret_values(
+                advertiser.payment, float(advertiser.demand), instance.gamma, own_new
+            )
+            - own_regret
+        )
+
+        assigned = candidate_owners != UNASSIGNED
+        free = ~assigned
+
+        # Free candidates: the own-side delta is the whole story.
+        best_free: int | None = None
+        best_free_delta = -min_improvement
+        if free.any():
+            free_deltas = own_delta[free]
+            position = int(np.argmin(free_deltas))
+            if free_deltas[position] < best_free_delta:
+                best_free = int(candidates[free][position])
+                best_free_delta = float(free_deltas[position])
+
+        # Assigned candidates: add an optimistic partner-side bound, then
+        # confirm exactly in descending-bound order.
+        best_assigned: int | None = None
+        best_assigned_delta = -min_improvement
+        if assigned.any():
+            all_influences = allocation.influences.astype(np.float64)
+            regret_by_advertiser = regret_values(
+                instance.payments, instance.demands, instance.gamma, all_influences
+            )
+            partner_ids = candidate_owners[assigned]
+            partner_influence = all_influences[partner_ids]
+            partner_regret = regret_by_advertiser[partner_ids]
+            # Partner j loses o_n and gains o_m: influence lands in
+            # [v_j - I(o_n), v_j + I(o_m)].
+            lo = partner_influence - individual[candidates[assigned]]
+            hi = partner_influence + float(individual[billboard_id])
+            partner_best = _optimistic_regret(
+                instance.payments[partner_ids],
+                instance.demands[partner_ids],
+                instance.gamma,
+                lo,
+                hi,
+            )
+            improvement_bound = -(own_delta[assigned] + (partner_best - partner_regret))
+
+            assigned_candidates = candidates[assigned]
+            order = np.argsort(-improvement_bound)
+            for position in order:
+                if improvement_bound[position] <= -best_assigned_delta:
+                    break
+                partner_billboard = int(assigned_candidates[position])
+                partner_id = int(partner_ids[position])
+                influence_delta = _partner_swap_delta(
+                    allocation, partner_id, partner_billboard, billboard_id
+                )
+                partner_delta = (
+                    instance.regret_of(
+                        partner_id, allocation.influence(partner_id) + influence_delta
+                    )
+                    - regret_by_advertiser[partner_id]
+                )
+                total = float(own_delta[assigned][position]) + partner_delta
+                if total < best_assigned_delta:
+                    best_assigned = partner_billboard
+                    best_assigned_delta = total
+                    break  # first confirmed improvement wins
+    finally:
+        allocation.assign(billboard_id, advertiser_id)
+
+    if best_free is None and best_assigned is None:
+        return None
+    if best_assigned is None:
+        return best_free
+    if best_free is None:
+        return best_assigned
+    return best_free if best_free_delta <= best_assigned_delta else best_assigned
+
+
+def billboard_driven_local_search(
+    allocation: Allocation,
+    min_improvement: float = 1e-9,
+    max_sweeps: int | None = None,
+    stats: dict | None = None,
+) -> Allocation:
+    """Run Algorithm 5; returns the improved allocation (may be a new object).
+
+    Parameters
+    ----------
+    allocation:
+        Starting plan; mutated in place for move families 1–3.
+    min_improvement:
+        Minimum absolute regret reduction for a move to be accepted.  This is
+        the ``r``-style improvement threshold of Definition 6.1 (expressed
+        absolutely rather than relatively) and also guards against
+        float-noise cycling.
+    max_sweeps:
+        Optional hard cap on full sweeps (None = run to local optimality).
+    stats:
+        Optional output dict receiving move counters.
+    """
+    instance = allocation.instance
+    sweeps = 0
+    exchanges = 0
+    releases = 0
+    topups = 0
+
+    while True:
+        sweeps += 1
+        improved = False
+
+        # Move families 1 & 2: pairwise and assigned↔free exchanges.
+        for advertiser_id in range(instance.num_advertisers):
+            for billboard_id in sorted(allocation.billboards_of(advertiser_id)):
+                if allocation.owner_of(billboard_id) != advertiser_id:
+                    continue  # already moved earlier in this sweep
+                partner = _find_improving_exchange(
+                    allocation, advertiser_id, billboard_id, min_improvement
+                )
+                if partner is not None:
+                    allocation.exchange_billboards(billboard_id, partner)
+                    exchanges += 1
+                    improved = True
+
+        # Move family 3: releases.
+        for advertiser_id in range(instance.num_advertisers):
+            for billboard_id in sorted(allocation.billboards_of(advertiser_id)):
+                if delta_release(allocation, billboard_id) < -min_improvement:
+                    allocation.release(billboard_id)
+                    releases += 1
+                    improved = True
+
+        # Move family 4: greedy top-up of the unassigned pool (line 5.11),
+        # adopted only if it strictly improves (lines 5.12-5.13).
+        if allocation.unassigned:
+            candidate = allocation.clone()
+            synchronous_greedy(candidate)
+            if candidate.total_regret() < allocation.total_regret() - min_improvement:
+                allocation = candidate
+                topups += 1
+                improved = True
+
+        if not improved or (max_sweeps is not None and sweeps >= max_sweeps):
+            break
+
+    if stats is not None:
+        stats["bls_sweeps"] = stats.get("bls_sweeps", 0) + sweeps
+        stats["bls_exchanges"] = stats.get("bls_exchanges", 0) + exchanges
+        stats["bls_releases"] = stats.get("bls_releases", 0) + releases
+        stats["bls_topups"] = stats.get("bls_topups", 0) + topups
+    return allocation

@@ -1,0 +1,56 @@
+"""Exact exhaustive solver for tiny instances.
+
+Not part of the paper (MROAM is NP-hard); used as the ground-truth oracle in
+tests and to verify the worked example of Section 1.  Enumerates every
+assignment of each billboard to an advertiser or to nobody —
+``(|A| + 1)^|U|`` plans — so it is only viable for toy instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.algorithms.base import Solver
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+
+
+class ExhaustiveSolver(Solver):
+    """Brute-force optimal solver for instances with a tiny search space."""
+
+    name = "Exhaustive"
+
+    def __init__(self, max_plans: int = 2_000_000) -> None:
+        self.max_plans = max_plans
+
+    def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
+        num_options = instance.num_advertisers + 1  # each billboard: owner or nobody
+        plan_count = num_options**instance.num_billboards
+        if plan_count > self.max_plans:
+            raise ValueError(
+                f"search space has {plan_count} plans, above the cap of "
+                f"{self.max_plans}; ExhaustiveSolver is only for toy instances"
+            )
+
+        coverage = instance.coverage
+        best_owners: tuple[int, ...] | None = None
+        best_regret = float("inf")
+        for owners in itertools.product(range(num_options), repeat=instance.num_billboards):
+            total = 0.0
+            for advertiser_id in range(instance.num_advertisers):
+                members = [b for b, owner in enumerate(owners) if owner == advertiser_id]
+                achieved = coverage.influence_of_set(members)
+                total += instance.regret_of(advertiser_id, achieved)
+                if total >= best_regret:
+                    break
+            if total < best_regret:
+                best_regret = total
+                best_owners = owners
+
+        stats["plans_enumerated"] = plan_count
+        allocation = Allocation(instance)
+        assert best_owners is not None
+        for billboard_id, owner in enumerate(best_owners):
+            if owner < instance.num_advertisers:
+                allocation.assign(billboard_id, owner)
+        return allocation

@@ -1,0 +1,109 @@
+"""The randomized local search framework (paper Algorithm 3).
+
+The framework first takes the synchronous greedy plan as the incumbent and
+refines it with the configured neighbourhood search.  It then performs a
+number of *random restarts*: each restart seeds every advertiser with one
+uniformly random billboard, completes the plan with the synchronous greedy,
+runs the neighbourhood search, and keeps the best plan seen.  The random
+seeding is what lets the framework escape the greedy's poor local minima
+(the objective is neither monotone nor submodular, Example 2 of the paper).
+
+The two neighbourhoods are the paper's ALS (Algorithm 4, advertiser-set
+exchanges) and BLS (Algorithm 5, billboard-level moves).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.als import advertiser_driven_local_search
+from repro.algorithms.bls import billboard_driven_local_search
+from repro.algorithms.greedy_global import synchronous_greedy
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.algorithms.base import Solver
+from repro.utils.rng import as_generator
+
+NEIGHBORHOODS = ("als", "bls")
+
+
+class RandomizedLocalSearch(Solver):
+    """Algorithm 3 parameterized by the neighbourhood search strategy.
+
+    Parameters
+    ----------
+    neighborhood:
+        ``"als"`` (Algorithm 4) or ``"bls"`` (Algorithm 5).
+    restarts:
+        The "preset count" of random restarts (Algorithm 3 line 3.2); the
+        deterministic greedy start is refined in addition to these.
+    seed:
+        RNG seed (or generator) driving the random restart plans.
+    min_improvement:
+        Acceptance threshold forwarded to the neighbourhood search.
+    max_sweeps:
+        Optional sweep cap forwarded to the BLS neighbourhood.
+    """
+
+    def __init__(
+        self,
+        neighborhood: str = "bls",
+        restarts: int = 5,
+        seed=None,
+        min_improvement: float = 1e-9,
+        max_sweeps: int | None = None,
+    ) -> None:
+        if neighborhood not in NEIGHBORHOODS:
+            raise ValueError(
+                f"unknown neighborhood {neighborhood!r}; expected one of {NEIGHBORHOODS}"
+            )
+        if restarts < 0:
+            raise ValueError(f"restarts must be non-negative, got {restarts}")
+        self.neighborhood = neighborhood
+        self.restarts = restarts
+        self.seed = seed
+        self.min_improvement = min_improvement
+        self.max_sweeps = max_sweeps
+        self.name = neighborhood.upper()
+
+    def _local_search(self) -> Callable[[Allocation, dict], Allocation]:
+        if self.neighborhood == "als":
+            return lambda allocation, stats: advertiser_driven_local_search(
+                allocation, self.min_improvement, stats
+            )
+        return lambda allocation, stats: billboard_driven_local_search(
+            allocation, self.min_improvement, self.max_sweeps, stats
+        )
+
+    def _random_seed_plan(self, instance: MROAMInstance, rng: np.random.Generator) -> Allocation:
+        """Lines 3.3-3.7: one uniformly random billboard per advertiser."""
+        allocation = Allocation(instance)
+        pool = np.arange(instance.num_billboards)
+        rng.shuffle(pool)
+        for advertiser_id in range(min(instance.num_advertisers, len(pool))):
+            allocation.assign(int(pool[advertiser_id]), advertiser_id)
+        return allocation
+
+    def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
+        rng = as_generator(self.seed)
+        local_search = self._local_search()
+
+        # Line 3.1: incumbent from the synchronous greedy, then refined.
+        best = Allocation(instance)
+        synchronous_greedy(best, stats=stats)
+        best = local_search(best, stats)
+        best_regret = best.total_regret()
+        stats["best_restart"] = -1  # -1 = the deterministic greedy start
+
+        for restart in range(self.restarts):
+            plan = self._random_seed_plan(instance, rng)
+            synchronous_greedy(plan, stats=stats)
+            plan = local_search(plan, stats)
+            plan_regret = plan.total_regret()
+            if plan_regret < best_regret:
+                best, best_regret = plan, plan_regret
+                stats["best_restart"] = restart
+        stats["restarts"] = self.restarts
+        return best

@@ -1,0 +1,47 @@
+"""Solver registry: paper method names → configured solver instances."""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Solver
+from repro.algorithms.greedy_global import SynchronousGreedy
+from repro.algorithms.greedy_order import BudgetEffectiveGreedy
+from repro.algorithms.local_search import RandomizedLocalSearch
+
+#: The four methods compared in the paper's experiments, in reporting order.
+PAPER_METHODS = ("g-order", "g-global", "als", "bls")
+
+
+def make_solver(name: str, seed=None, **kwargs) -> Solver:
+    """Create a solver by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"g-order"``, ``"g-global"``, ``"als"``, ``"bls"``
+        (case-insensitive; ``_`` and ``-`` interchangeable).
+    seed:
+        RNG seed for the randomized methods (ignored by the greedies).
+    **kwargs:
+        Extra constructor arguments (e.g. ``restarts`` for ALS/BLS).
+    """
+    key = name.lower().replace("_", "-")
+    if key == "g-order":
+        return BudgetEffectiveGreedy()
+    if key == "g-global":
+        return SynchronousGreedy()
+    if key == "als":
+        return RandomizedLocalSearch(neighborhood="als", seed=seed, **kwargs)
+    if key == "bls":
+        return RandomizedLocalSearch(neighborhood="bls", seed=seed, **kwargs)
+    if key == "sa":
+        from repro.algorithms.annealing import SimulatedAnnealingSolver
+
+        return SimulatedAnnealingSolver(seed=seed, **kwargs)
+    if key == "bnb":
+        from repro.algorithms.branch_and_bound import BranchAndBoundSolver
+
+        return BranchAndBoundSolver(**kwargs)
+    raise ValueError(
+        f"unknown solver {name!r}; expected one of {PAPER_METHODS} "
+        "or the extensions ('sa', 'bnb')"
+    )

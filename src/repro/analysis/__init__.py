@@ -1,0 +1,20 @@
+"""Plan analysis: reports and diagnostics on deployment plans.
+
+The solvers return an :class:`~repro.core.allocation.Allocation`; this
+package turns one into the artifacts a host actually reads — per-advertiser
+deployment reports, market feasibility summaries, and inventory criticality
+(which billboards the plan depends on most).
+"""
+
+from repro.analysis.report import AdvertiserReport, plan_report
+from repro.analysis.inventory import BillboardCriticality, inventory_criticality
+from repro.analysis.market import MarketSummary, market_summary
+
+__all__ = [
+    "AdvertiserReport",
+    "BillboardCriticality",
+    "MarketSummary",
+    "inventory_criticality",
+    "market_summary",
+    "plan_report",
+]

@@ -1,0 +1,60 @@
+"""Inventory criticality: which billboards does the plan depend on most?
+
+For every assigned billboard the criticality is the regret increase the host
+would suffer if that billboard became unavailable and its slot were simply
+vacated (the plan is not re-optimized — this is the *marginal* dependence,
+exactly :func:`repro.core.moves.delta_release` negated on the regret axis).
+Hosts use this to prioritize maintenance or to price premium panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import UNASSIGNED, Allocation
+from repro.core.moves import delta_release
+
+
+@dataclass(frozen=True)
+class BillboardCriticality:
+    """Marginal dependence of the plan on one assigned billboard."""
+
+    billboard_id: int
+    advertiser_id: int
+    regret_increase_if_lost: float
+    individual_influence: int
+
+
+def inventory_criticality(
+    allocation: Allocation, top_k: int | None = None
+) -> list[BillboardCriticality]:
+    """Rank assigned billboards by the regret increase their loss causes.
+
+    Parameters
+    ----------
+    allocation:
+        The plan to analyze (not mutated).
+    top_k:
+        Return only the ``top_k`` most critical billboards (default: all
+        assigned ones).
+    """
+    instance = allocation.instance
+    rows = []
+    for billboard_id in range(instance.num_billboards):
+        owner = allocation.owner_of(billboard_id)
+        if owner == UNASSIGNED:
+            continue
+        # Losing the billboard is exactly a forced release: total regret
+        # changes by delta_release (positive = the plan depends on it; a
+        # negative value flags a billboard that over-serves its advertiser).
+        increase = delta_release(allocation, billboard_id)
+        rows.append(
+            BillboardCriticality(
+                billboard_id=billboard_id,
+                advertiser_id=owner,
+                regret_increase_if_lost=increase,
+                individual_influence=instance.coverage.influence_of(billboard_id),
+            )
+        )
+    rows.sort(key=lambda row: (-row.regret_increase_if_lost, row.billboard_id))
+    return rows[:top_k] if top_k is not None else rows

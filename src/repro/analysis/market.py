@@ -1,0 +1,71 @@
+"""Market feasibility summaries for an MROAM instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import MROAMInstance
+
+
+@dataclass(frozen=True)
+class MarketSummary:
+    """Macro view of one instance's demand-supply situation.
+
+    Attributes mirror the quantities the paper's experiment design controls:
+    the realized α, the average individual demand ratio, and two feasibility
+    indicators — whether the global demand exceeds the supply (``α > 1``
+    means someone must go unsatisfied) and whether any single advertiser's
+    demand exceeds the total reachable audience (individually unsatisfiable
+    regardless of allocation).
+    """
+
+    num_billboards: int
+    num_advertisers: int
+    supply: int
+    reachable_audience: int
+    global_demand: float
+    alpha: float
+    avg_individual_demand_ratio: float
+    overdemanded: bool
+    unsatisfiable_advertisers: int
+    total_payment: float
+
+    def describe(self) -> str:
+        lines = [
+            f"market: |U|={self.num_billboards}, |A|={self.num_advertisers}",
+            f"  supply I*={self.supply:,} (reachable audience {self.reachable_audience:,})",
+            f"  global demand={self.global_demand:,.0f} (alpha={self.alpha:.2f})",
+            f"  avg individual demand = {self.avg_individual_demand_ratio:.1%} of supply",
+            f"  committed payments = ${self.total_payment:,.0f}",
+        ]
+        if self.overdemanded:
+            lines.append("  WARNING: demand exceeds supply - someone must go unsatisfied")
+        if self.unsatisfiable_advertisers:
+            lines.append(
+                f"  WARNING: {self.unsatisfiable_advertisers} advertiser(s) demand more "
+                "than the reachable audience"
+            )
+        return "\n".join(lines)
+
+
+def market_summary(instance: MROAMInstance) -> MarketSummary:
+    """Compute the :class:`MarketSummary` of one instance."""
+    supply = instance.coverage.supply
+    reachable = instance.coverage.total_reachable()
+    global_demand = instance.global_demand
+    return MarketSummary(
+        num_billboards=instance.num_billboards,
+        num_advertisers=instance.num_advertisers,
+        supply=supply,
+        reachable_audience=reachable,
+        global_demand=global_demand,
+        alpha=global_demand / supply if supply else float("inf"),
+        avg_individual_demand_ratio=(
+            float(np.mean(instance.demands)) / supply if supply else float("inf")
+        ),
+        overdemanded=global_demand > supply,
+        unsatisfiable_advertisers=int(np.sum(instance.demands > reachable)),
+        total_payment=instance.total_payment(),
+    )

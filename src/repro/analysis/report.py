@@ -1,0 +1,60 @@
+"""Per-advertiser deployment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+
+
+@dataclass(frozen=True)
+class AdvertiserReport:
+    """One advertiser's row in the host's deployment report."""
+
+    advertiser_id: int
+    name: str
+    demand: int
+    payment: float
+    achieved_influence: int
+    billboard_count: int
+    satisfied: bool
+    regret: float
+    collectable_revenue: float
+
+    @property
+    def fill_rate(self) -> float:
+        """Achieved influence over demand (can exceed 1 when over-served)."""
+        return self.achieved_influence / self.demand
+
+    def as_row(self) -> str:
+        status = "satisfied" if self.satisfied else "UNSATISFIED"
+        return (
+            f"{self.name or f'a{self.advertiser_id}':<24} "
+            f"demand={self.demand:>8,} achieved={self.achieved_influence:>8,} "
+            f"({self.fill_rate:>5.0%}) boards={self.billboard_count:>4} "
+            f"{status:<12} regret={self.regret:>9.1f} "
+            f"collectable=${self.collectable_revenue:,.0f}"
+        )
+
+
+def plan_report(allocation: Allocation) -> list[AdvertiserReport]:
+    """Build the deployment report of a plan, one row per advertiser."""
+    instance = allocation.instance
+    rows = []
+    for advertiser in instance.advertisers:
+        advertiser_id = advertiser.advertiser_id
+        achieved = allocation.influence(advertiser_id)
+        rows.append(
+            AdvertiserReport(
+                advertiser_id=advertiser_id,
+                name=advertiser.name,
+                demand=advertiser.demand,
+                payment=advertiser.payment,
+                achieved_influence=achieved,
+                billboard_count=len(allocation.billboards_of(advertiser_id)),
+                satisfied=achieved >= advertiser.demand,
+                regret=instance.regret_of(advertiser_id, achieved),
+                collectable_revenue=instance.dual_of(advertiser_id, achieved),
+            )
+        )
+    return rows

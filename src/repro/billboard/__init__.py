@@ -1,0 +1,21 @@
+"""Billboard substrate: the billboard inventory and the coverage-based
+influence model of the paper (Section 7.1.2).
+
+The host's inventory is a :class:`BillboardDB`.  A :class:`CoverageIndex`
+materializes, for every billboard, the set of trajectories it influences
+(``p(o, t) = 1`` iff some point of ``t`` is within ``λ`` of ``o.loc``), from
+which the influence of any billboard set is the size of the union of its
+members' covered-trajectory sets.
+"""
+
+from repro.billboard.cost import billboard_cost, cost_vector
+from repro.billboard.influence import CoverageIndex
+from repro.billboard.model import Billboard, BillboardDB
+
+__all__ = [
+    "Billboard",
+    "BillboardDB",
+    "CoverageIndex",
+    "billboard_cost",
+    "cost_vector",
+]

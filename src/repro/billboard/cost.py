@@ -1,0 +1,38 @@
+"""Billboard cost model (paper Section 7.1.2).
+
+Hosts such as LAMAR and JCDecaux do not publish exact billboard costs; the
+paper (following [26, 29]) models cost as proportional to influence with a
+small random fluctuation:
+
+    o.w = ⌊τ · I(o) / 10⌋,  τ ~ Uniform[0.9, 1.1]
+
+The cost does not enter the regret objective (Section 3.2 argues it is a
+fixed portion either way); it is provided for API completeness and for
+downstream analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.influence import CoverageIndex
+from repro.utils.rng import as_generator
+
+TAU_LOW = 0.9
+TAU_HIGH = 1.1
+
+
+def billboard_cost(influence: int, tau: float) -> int:
+    """Cost of one billboard given its influence and fluctuation factor."""
+    if influence < 0:
+        raise ValueError(f"influence must be non-negative, got {influence}")
+    if not TAU_LOW <= tau <= TAU_HIGH:
+        raise ValueError(f"tau must be in [{TAU_LOW}, {TAU_HIGH}], got {tau}")
+    return int(np.floor(tau * influence / 10.0))
+
+
+def cost_vector(index: CoverageIndex, seed=None) -> np.ndarray:
+    """Sample the cost of every billboard in the inventory."""
+    rng = as_generator(seed)
+    taus = rng.uniform(TAU_LOW, TAU_HIGH, size=index.num_billboards)
+    return np.floor(taus * index.individual_influences / 10.0).astype(np.int64)

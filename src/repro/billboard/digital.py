@@ -1,0 +1,152 @@
+"""Digital billboards: the time-slot extension discussed in Section 3.2.
+
+The paper notes that a digital billboard can simply be treated as "multiple
+billboards", one per time slot.  This module makes that concrete: given a
+(physical) coverage index and trajectory departure/travel times, it expands
+every physical billboard into one *virtual* billboard per slot whose
+coverage is the physical coverage restricted to trajectories active during
+the slot.  The resulting :class:`~repro.billboard.influence.CoverageIndex`
+plugs into :class:`~repro.core.problem.MROAMInstance` unchanged — the
+solvers never know slots exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.billboard.influence import CoverageIndex
+from repro.trajectory.departures import SECONDS_PER_DAY
+from repro.trajectory.model import TrajectoryDB
+
+
+@dataclass(frozen=True, slots=True)
+class TimeSlot:
+    """A half-open interval of the day, ``[start_s, end_s)`` in seconds."""
+
+    slot_id: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_s < self.end_s <= SECONDS_PER_DAY:
+            raise ValueError(
+                f"slot must satisfy 0 <= start < end <= {SECONDS_PER_DAY}, "
+                f"got [{self.start_s}, {self.end_s})"
+            )
+
+    def label(self) -> str:
+        return f"{int(self.start_s) // 3600:02d}:00-{int(self.end_s) // 3600:02d}:00"
+
+
+def day_slots(count: int) -> list[TimeSlot]:
+    """Split the day into ``count`` equal slots."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    edges = np.linspace(0.0, SECONDS_PER_DAY, count + 1)
+    return [TimeSlot(i, float(edges[i]), float(edges[i + 1])) for i in range(count)]
+
+
+@dataclass(frozen=True)
+class DigitalExpansion:
+    """The virtual inventory produced by :func:`expand_digital`.
+
+    ``coverage`` is a normal coverage index over ``len(slots) × |U|`` virtual
+    billboards; ``physical_of`` and ``slot_of`` map a virtual billboard id
+    back to its panel and slot.
+    """
+
+    coverage: CoverageIndex
+    slots: tuple[TimeSlot, ...]
+    physical_of: np.ndarray
+    slot_of: np.ndarray
+
+    @property
+    def num_virtual(self) -> int:
+        return self.coverage.num_billboards
+
+    def virtual_id(self, physical_id: int, slot_id: int) -> int:
+        """The virtual billboard id of panel ``physical_id`` in ``slot_id``."""
+        num_slots = len(self.slots)
+        if not 0 <= slot_id < num_slots:
+            raise IndexError(f"slot {slot_id} out of range [0, {num_slots})")
+        return physical_id * num_slots + slot_id
+
+    def describe_virtual(self, virtual_id: int) -> str:
+        return (
+            f"panel {int(self.physical_of[virtual_id])} @ "
+            f"{self.slots[int(self.slot_of[virtual_id])].label()}"
+        )
+
+    def slot_supply(self, slot_id: int) -> int:
+        """Total supply offered in one slot (Σ of its virtual influences)."""
+        mask = self.slot_of == slot_id
+        return int(self.coverage.individual_influences[mask].sum())
+
+
+def expand_digital(
+    physical: CoverageIndex,
+    trajectories: TrajectoryDB,
+    slots: list[TimeSlot] | int = 4,
+) -> DigitalExpansion:
+    """Expand a physical inventory into per-slot virtual billboards.
+
+    A virtual billboard ``(o, s)`` covers trajectory ``t`` iff ``o`` covers
+    ``t`` spatially *and* ``t`` is on the road during slot ``s`` (its active
+    interval ``[start, start + travel_time]`` intersects the slot; trips
+    wrapping past midnight are handled).
+
+    Parameters
+    ----------
+    physical:
+        The λ-coverage of the physical panels.
+    trajectories:
+        The corpus that produced ``physical`` (provides the timings).
+    slots:
+        Slot list, or an integer passed to :func:`day_slots`.
+    """
+    if physical.num_trajectories != len(trajectories):
+        raise ValueError(
+            f"coverage is over {physical.num_trajectories} trajectories but the "
+            f"corpus has {len(trajectories)}"
+        )
+    if isinstance(slots, int):
+        slots = day_slots(slots)
+    if not slots:
+        raise ValueError("at least one slot is required")
+
+    starts = trajectories.start_times
+    ends = starts + trajectories.travel_times
+    wrapped = ends > SECONDS_PER_DAY
+
+    active_masks = []
+    for slot in slots:
+        overlap = (starts < slot.end_s) & (ends > slot.start_s)
+        # A trip wrapping past midnight is also active in the early slots it
+        # spills into.
+        spill = wrapped & (ends - SECONDS_PER_DAY > slot.start_s)
+        active_masks.append(overlap | spill)
+
+    num_slots = len(slots)
+    coverage_lists: list[np.ndarray] = []
+    physical_of = np.empty(physical.num_billboards * num_slots, dtype=np.int64)
+    slot_of = np.empty_like(physical_of)
+    for billboard_id in range(physical.num_billboards):
+        covered = physical.covered_by(billboard_id)
+        for slot in slots:
+            virtual = billboard_id * num_slots + slot.slot_id
+            mask = active_masks[slot.slot_id][covered]
+            coverage_lists.append(covered[mask])
+            physical_of[virtual] = billboard_id
+            slot_of[virtual] = slot.slot_id
+
+    coverage = CoverageIndex.from_coverage_lists(
+        coverage_lists, physical.num_trajectories, lambda_m=physical.lambda_m
+    )
+    return DigitalExpansion(
+        coverage=coverage,
+        slots=tuple(slots),
+        physical_of=physical_of,
+        slot_of=slot_of,
+    )

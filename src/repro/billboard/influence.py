@@ -1,0 +1,240 @@
+"""The coverage influence model (paper Section 7.1.2).
+
+A Bernoulli meet indicator ``p(o, t) = 1`` iff some point of trajectory ``t``
+lies within ``λ`` metres of billboard ``o``.  The influence of a billboard set
+``S`` on ``t`` is ``1 − Π_{o∈S}(1 − p(o, t))`` — i.e. 1 iff *any* member meets
+``t`` — and the influence of ``S`` is the sum over all trajectories:
+
+    I(S) = |{t : some o ∈ S meets t}|
+
+so influence is a set-coverage count.  :class:`CoverageIndex` materializes the
+per-billboard covered-trajectory id arrays once (a grid-accelerated radius
+join) and answers all influence queries from them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.billboard.model import BillboardDB
+from repro.spatial.geometry import min_distance_to_polyline
+from repro.spatial.grid import GridIndex
+from repro.trajectory.model import TrajectoryDB
+
+
+class CoverageIndex:
+    """Precomputed billboard → covered-trajectory mapping for one ``λ``.
+
+    Parameters
+    ----------
+    billboards, trajectories:
+        The host's inventory and the audience corpus.
+    lambda_m:
+        Influence radius ``λ`` in metres (paper default 100 m).
+
+    Notes
+    -----
+    The index is immutable.  All id arrays are sorted ``int64``; the number of
+    trajectories is exposed so allocation states can size their multiplicity
+    counters.
+    """
+
+    def __init__(
+        self,
+        billboards: BillboardDB,
+        trajectories: TrajectoryDB,
+        lambda_m: float = 100.0,
+        exact_segments: bool = False,
+    ) -> None:
+        if lambda_m <= 0:
+            raise ValueError(f"lambda_m must be positive, got {lambda_m}")
+        self.lambda_m = float(lambda_m)
+        self.num_billboards = len(billboards)
+        self.num_trajectories = len(trajectories)
+
+        # Billboard-centric radius join: index all trajectory points once,
+        # then one grid query per billboard.  The inventory is thousands of
+        # billboards while the corpus has millions of points, so this
+        # direction keeps the Python-level loop on the small side.
+        #
+        # ``exact_segments`` upgrades the meet test from the paper's sampled
+        # p(o, t) (some recorded point within λ) to the trajectory's actual
+        # polyline coming within λ — the grid query is widened by half the
+        # largest sample gap so no segment-only meet can be missed, then the
+        # candidates are confirmed against the exact segment distance.
+        margin = 0.0
+        if exact_segments:
+            gaps = [
+                float(np.sqrt(np.sum(np.diff(trajectories.points_of(t), axis=0) ** 2, axis=1)).max())
+                for t in range(len(trajectories))
+                if len(trajectories.points_of(t)) > 1
+            ]
+            margin = max(gaps) / 2.0 if gaps else 0.0
+        grid = GridIndex(trajectories.all_points, cell_size=lambda_m)
+        point_owner = np.repeat(
+            np.arange(len(trajectories), dtype=np.int64), trajectories.point_counts
+        )
+        covered: list[np.ndarray] = []
+        for billboard in billboards:
+            hits = grid.query_radius(
+                billboard.location.x, billboard.location.y, lambda_m + margin
+            )
+            candidates = np.unique(point_owner[hits])
+            if exact_segments:
+                location = billboard.location.as_array()
+                candidates = np.array(
+                    [
+                        t
+                        for t in candidates
+                        if min_distance_to_polyline(location, trajectories.points_of(int(t)))
+                        <= lambda_m
+                    ],
+                    dtype=np.int64,
+                )
+            covered.append(candidates)
+        self._covered = covered
+        self._individual = np.array([len(ids) for ids in covered], dtype=np.int64)
+
+    @classmethod
+    def from_coverage_lists(
+        cls,
+        covered: Sequence[Sequence[int]],
+        num_trajectories: int,
+        lambda_m: float = 100.0,
+    ) -> "CoverageIndex":
+        """Build an index directly from coverage lists (no geometry).
+
+        This constructor powers the hardness reduction (Section 4), the worked
+        example of Section 1, and tests, where coverage sets are specified
+        explicitly rather than derived from locations.
+        """
+        index = cls.__new__(cls)
+        index.lambda_m = float(lambda_m)
+        index.num_billboards = len(covered)
+        index.num_trajectories = int(num_trajectories)
+        arrays = []
+        for billboard_id, ids in enumerate(covered):
+            array = np.unique(np.asarray(list(ids), dtype=np.int64))
+            if len(array) and (array[0] < 0 or array[-1] >= num_trajectories):
+                raise ValueError(
+                    f"billboard {billboard_id} covers trajectory ids outside "
+                    f"[0, {num_trajectories})"
+                )
+            arrays.append(array)
+        index._covered = arrays
+        index._individual = np.array([len(a) for a in arrays], dtype=np.int64)
+        return index
+
+    def covered_by(self, billboard_id: int) -> np.ndarray:
+        """Sorted trajectory ids covered by one billboard (no copy)."""
+        return self._covered[billboard_id]
+
+    def _flat_coverage(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR layout of all coverage arrays, built lazily.
+
+        Returns ``(flat_ids, offsets)`` where billboard ``b``'s covered ids
+        are ``flat_ids[offsets[b]:offsets[b + 1]]``.  Powers the batch gain
+        computation the greedy solvers use to price every candidate billboard
+        in one vectorized pass.
+        """
+        cached = getattr(self, "_flat_cache", None)
+        if cached is None:
+            counts = np.array([len(a) for a in self._covered], dtype=np.int64)
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            if offsets[-1]:
+                flat = np.concatenate(self._covered)
+            else:
+                flat = np.empty(0, dtype=np.int64)
+            cached = (flat, offsets)
+            self._flat_cache = cached
+        return cached
+
+    def batch_add_gains(self, counts_row: np.ndarray) -> np.ndarray:
+        """Marginal influence of adding *each* billboard to a set.
+
+        Given an advertiser's multiplicity counter row, returns the vector
+        ``g`` with ``g[b] = |{t ∈ cov(b) : counts_row[t] == 0}|`` for every
+        billboard ``b``, in one vectorized pass over the flat coverage.
+        """
+        flat, offsets = self._flat_coverage()
+        if len(flat) == 0:
+            return np.zeros(self.num_billboards, dtype=np.int64)
+        mask = (counts_row[flat] == 0).astype(np.int64)
+        cumulative = np.concatenate([[0], np.cumsum(mask)])
+        return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+
+    def batch_remove_losses(self, counts_row: np.ndarray) -> np.ndarray:
+        """Influence lost by removing *each* billboard from a set.
+
+        ``l[b] = |{t ∈ cov(b) : counts_row[t] == 1}|``; only meaningful for
+        billboards actually in the set, but computed for all.
+        """
+        flat, offsets = self._flat_coverage()
+        if len(flat) == 0:
+            return np.zeros(self.num_billboards, dtype=np.int64)
+        mask = (counts_row[flat] == 1).astype(np.int64)
+        cumulative = np.concatenate([[0], np.cumsum(mask)])
+        return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+
+    @property
+    def individual_influences(self) -> np.ndarray:
+        """``I({o})`` for every billboard, as an ``int64`` vector."""
+        return self._individual
+
+    def influence_of(self, billboard_id: int) -> int:
+        """``I({o})`` of a single billboard."""
+        return int(self._individual[billboard_id])
+
+    def influence_of_set(self, billboard_ids: Iterable[int]) -> int:
+        """``I(S)``: number of distinct trajectories covered by the set."""
+        arrays = [self._covered[int(b)] for b in billboard_ids]
+        arrays = [a for a in arrays if len(a)]
+        if not arrays:
+            return 0
+        return int(len(np.unique(np.concatenate(arrays))))
+
+    @property
+    def supply(self) -> int:
+        """The host's supply ``I* = Σ_o I({o})`` (paper Section 7.1.3).
+
+        Note this intentionally double-counts overlapping coverage: it is the
+        sum of *individual* influences, matching the paper's definition.
+        """
+        return int(self._individual.sum())
+
+    def total_reachable(self) -> int:
+        """Number of trajectories covered by the entire inventory.
+
+        This is the impression-count ceiling of Figure 1b (selecting 100 % of
+        billboards), and upper-bounds any single advertiser's achievable
+        influence.
+        """
+        return self.influence_of_set(range(self.num_billboards))
+
+    def influence_distribution(self) -> np.ndarray:
+        """Per-billboard influences in descending order, normalized by the max.
+
+        This is exactly the series plotted in Figure 1a.
+        """
+        influences = np.sort(self._individual)[::-1].astype(np.float64)
+        peak = influences[0] if len(influences) and influences[0] > 0 else 1.0
+        return influences / peak
+
+    def impression_curve(self, fractions: Sequence[float]) -> np.ndarray:
+        """Figure 1b's impression-count curve.
+
+        For each fraction ``f``, select the top ``f·|U|`` billboards by
+        individual influence and report the fraction of all trajectories their
+        union covers.
+        """
+        order = np.argsort(self._individual)[::-1]
+        results = []
+        for fraction in fractions:
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(f"fractions must be in [0, 1], got {fraction}")
+            k = int(round(fraction * self.num_billboards))
+            covered = self.influence_of_set(order[:k]) if k else 0
+            results.append(covered / self.num_trajectories)
+        return np.array(results)

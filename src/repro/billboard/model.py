@@ -1,0 +1,81 @@
+"""Billboard inventory data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Billboard:
+    """One billboard owned by the host.
+
+    Attributes
+    ----------
+    billboard_id:
+        Dense integer id, the row index in the owning :class:`BillboardDB`.
+    location:
+        Panel location in the local metric projection.
+    label:
+        Optional free-form label (e.g. a street name or a bus-stop code).
+    """
+
+    billboard_id: int
+    location: Point
+    label: str = ""
+
+
+class BillboardDB:
+    """An immutable inventory of billboards with vectorized location access."""
+
+    def __init__(self, billboards: Iterable[Billboard]) -> None:
+        billboards = list(billboards)
+        if not billboards:
+            raise ValueError("BillboardDB needs at least one billboard")
+        for expected_id, billboard in enumerate(billboards):
+            if billboard.billboard_id != expected_id:
+                raise ValueError(
+                    "billboard ids must be dense 0..n-1 in order; "
+                    f"found id {billboard.billboard_id} at position {expected_id}"
+                )
+        self._billboards = billboards
+        self._locations = np.array(
+            [[b.location.x, b.location.y] for b in billboards], dtype=np.float64
+        )
+
+    @classmethod
+    def from_locations(cls, locations: np.ndarray, labels: list[str] | None = None) -> "BillboardDB":
+        """Build an inventory from an ``(n, 2)`` location array."""
+        locations = np.asarray(locations, dtype=np.float64)
+        if labels is None:
+            labels = [""] * len(locations)
+        if len(labels) != len(locations):
+            raise ValueError(f"got {len(locations)} locations but {len(labels)} labels")
+        return cls(
+            Billboard(i, Point(float(x), float(y)), label)
+            for i, ((x, y), label) in enumerate(zip(locations, labels))
+        )
+
+    def __len__(self) -> int:
+        return len(self._billboards)
+
+    def __getitem__(self, billboard_id: int) -> Billboard:
+        if not 0 <= billboard_id < len(self):
+            raise IndexError(f"billboard id {billboard_id} out of range [0, {len(self)})")
+        return self._billboards[billboard_id]
+
+    def __iter__(self) -> Iterator[Billboard]:
+        return iter(self._billboards)
+
+    @property
+    def locations(self) -> np.ndarray:
+        """``(n, 2)`` array of billboard locations (no copy)."""
+        return self._locations
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.from_points(self._locations)

@@ -1,0 +1,189 @@
+"""Command-line interface: run any experiment cell or sweep from a shell.
+
+Examples::
+
+    mroam cell --dataset nyc --alpha 1.0 --p-avg 0.05
+    mroam sweep --dataset sg --parameter alpha
+    mroam datasets
+    mroam example1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import example1_instance, example1_strategy1, example1_strategy2, generate_city
+from repro.experiments.configs import (
+    ALPHA_VALUES,
+    BENCH_SCALE,
+    GAMMA_VALUES,
+    LAMBDA_VALUES,
+    P_AVG_VALUES,
+)
+from repro.experiments.harness import run_cell, sweep
+from repro.experiments.reporting import format_regret_table, format_runtime_table
+from repro.market.scenario import Scenario
+from repro.trajectory.stats import summarize
+
+_SWEEP_VALUES = {
+    "alpha": ALPHA_VALUES,
+    "p_avg": P_AVG_VALUES,
+    "gamma": GAMMA_VALUES,
+    "lambda_m": LAMBDA_VALUES,
+}
+_SWEEP_FORMATS = {
+    "alpha": "{:.0%}",
+    "p_avg": "{:.0%}",
+    "gamma": "{:.2f}",
+    "lambda_m": "{:.0f}m",
+}
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("nyc", "sg"), default="nyc")
+    parser.add_argument("--billboards", type=int, default=None, help="inventory size")
+    parser.add_argument("--trajectories", type=int, default=None, help="corpus size")
+    parser.add_argument("--alpha", type=float, default=1.0, help="demand-supply ratio")
+    parser.add_argument("--p-avg", type=float, default=0.05, help="avg individual demand ratio")
+    parser.add_argument("--gamma", type=float, default=0.5, help="unsatisfied penalty ratio")
+    parser.add_argument("--lambda-m", type=float, default=100.0, help="influence radius (m)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--restarts", type=int, default=3, help="ALS/BLS restart count")
+    parser.add_argument(
+        "--methods",
+        default="g-order,g-global,als,bls",
+        help="comma-separated method names",
+    )
+
+
+def _scenario_from(args: argparse.Namespace) -> Scenario:
+    scale = BENCH_SCALE[args.dataset]
+    return Scenario(
+        dataset=args.dataset,
+        n_billboards=args.billboards if args.billboards is not None else scale[0],
+        n_trajectories=args.trajectories if args.trajectories is not None else scale[1],
+        alpha=args.alpha,
+        p_avg=args.p_avg,
+        gamma=args.gamma,
+        lambda_m=args.lambda_m,
+        seed=args.seed,
+    )
+
+
+def _cmd_cell(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    methods = args.methods.split(",")
+    metrics = run_cell(scenario, methods=methods, restarts=args.restarts)
+    print(f"cell: {scenario}")
+    for method, cell in metrics.items():
+        print(
+            f"  {method:<9} regret={cell.total_regret:>12.1f} "
+            f"excess={cell.excessive_pct:5.1f}% unsat={cell.unsatisfied_pct:5.1f}% "
+            f"satisfied={cell.satisfied_advertisers}/{cell.num_advertisers} "
+            f"time={cell.runtime_s:.2f}s"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    values = _SWEEP_VALUES[args.parameter]
+    methods = args.methods.split(",")
+    result = sweep(scenario, args.parameter, values, methods=methods, restarts=args.restarts)
+    fmt = _SWEEP_FORMATS[args.parameter]
+    print(format_regret_table(result, f"{args.dataset.upper()} — sweep over {args.parameter}", fmt))
+    print()
+    print(format_runtime_table(result, "Runtime", fmt))
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for name in ("nyc", "sg"):
+        scale = BENCH_SCALE[name]
+        city = generate_city(
+            name, n_billboards=scale[0], n_trajectories=scale[1], seed=args.seed
+        )
+        stats = summarize(city.trajectories)
+        print(stats.as_table5_row(city.name, len(city.billboards)))
+    return 0
+
+
+def _cmd_example1(args: argparse.Namespace) -> int:
+    instance = example1_instance()
+    for label, builder in (("Strategy 1", example1_strategy1), ("Strategy 2", example1_strategy2)):
+        allocation = builder(instance)
+        print(f"{label}: regret={allocation.total_regret():.2f}")
+        for advertiser in instance.advertisers:
+            i = advertiser.advertiser_id
+            achieved = allocation.influence(i)
+            satisfied = "Y" if achieved >= advertiser.demand else "N"
+            print(
+                f"  {advertiser.name}: S={sorted(allocation.billboards_of(i))} "
+                f"satisfy={satisfied} I(S)-I={achieved - advertiser.demand}"
+            )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.export import sweep_to_csv
+    from repro.experiments.figures import run_figure
+
+    scale = None
+    if args.billboards is not None or args.trajectories is not None:
+        if args.billboards is None or args.trajectories is None:
+            raise SystemExit("--billboards and --trajectories must be given together")
+        scale = (args.billboards, args.trajectories)
+    result, table = run_figure(
+        args.figure_id, seed=args.seed, restarts=args.restarts, scale=scale
+    )
+    print(table)
+    if args.csv:
+        path = sweep_to_csv(result, args.csv)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mroam",
+        description="Reproduction of 'Minimizing the Regret of an Influence Provider'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cell = sub.add_parser("cell", help="run all methods on one experiment cell")
+    _add_scenario_arguments(cell)
+    cell.set_defaults(func=_cmd_cell)
+
+    sweep_parser = sub.add_parser("sweep", help="sweep one parameter (a paper figure)")
+    _add_scenario_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--parameter", choices=tuple(_SWEEP_VALUES), default="alpha"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    datasets = sub.add_parser("datasets", help="print Table 5 dataset statistics")
+    datasets.add_argument("--seed", type=int, default=7)
+    datasets.set_defaults(func=_cmd_datasets)
+
+    example = sub.add_parser("example1", help="replay the Section 1 worked example")
+    example.set_defaults(func=_cmd_example1)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure by id")
+    figure.add_argument("figure_id", help="e.g. fig4 (see repro.experiments.figures)")
+    figure.add_argument("--seed", type=int, default=7)
+    figure.add_argument("--restarts", type=int, default=2)
+    figure.add_argument("--billboards", type=int, default=None)
+    figure.add_argument("--trajectories", type=int, default=None)
+    figure.add_argument("--csv", default=None, help="also export the sweep to this CSV path")
+    figure.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Core of the reproduction: the MROAM problem (paper Section 3).
+
+* :mod:`repro.core.regret` — the regret model of Eq. 1 and its dual (Eq. 2).
+* :mod:`repro.core.advertiser` — advertiser campaign proposals ``(I_i, L_i)``.
+* :mod:`repro.core.problem` — :class:`MROAMInstance`, the full problem input.
+* :mod:`repro.core.allocation` — :class:`Allocation`, the incremental
+  deployment-plan state every solver manipulates.
+* :mod:`repro.core.moves` — side-effect-free delta evaluation of the local
+  search move families.
+* :mod:`repro.core.validation` — structural invariant checks.
+"""
+
+from repro.core.advertiser import Advertiser
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.core.regret import RegretBreakdown, dual_objective, regret, regret_breakdown
+from repro.core.serialization import load_allocation, save_allocation
+from repro.core.validation import validate_allocation
+
+__all__ = [
+    "Advertiser",
+    "Allocation",
+    "MROAMInstance",
+    "RegretBreakdown",
+    "dual_objective",
+    "load_allocation",
+    "regret",
+    "regret_breakdown",
+    "save_allocation",
+    "validate_allocation",
+]

@@ -1,0 +1,42 @@
+"""Advertiser campaign proposals (paper Section 3.1).
+
+Each advertiser submits a proposal ``(I_i, L_i)``: a minimum demanded
+influence and the payment committed if the demand is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Advertiser:
+    """One advertiser's campaign proposal.
+
+    Attributes
+    ----------
+    advertiser_id:
+        Dense integer id (index into the instance's advertiser list).
+    demand:
+        Minimum demanded influence ``I_i`` (> 0).
+    payment:
+        Committed payment ``L_i`` (≥ 0), fully paid only if the demand is met.
+    name:
+        Optional display name (the worked example uses ``a1..a3``).
+    """
+
+    advertiser_id: int
+    demand: int
+    payment: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ValueError(f"advertiser demand must be positive, got {self.demand}")
+        if self.payment < 0:
+            raise ValueError(f"advertiser payment must be non-negative, got {self.payment}")
+
+    @property
+    def budget_effectiveness(self) -> float:
+        """``L_i / I_i`` — the ordering key of the budget-effective greedy."""
+        return self.payment / self.demand

@@ -1,0 +1,114 @@
+"""The MROAM problem instance (paper Definition 3.1).
+
+An instance bundles the host's inventory (through its precomputed
+:class:`~repro.billboard.influence.CoverageIndex`), the advertiser proposals,
+and the unsatisfied penalty ratio ``γ``.  Solvers only ever see an instance;
+the geometry that produced the coverage index is irrelevant to them, which is
+what lets the hardness reduction and tests construct instances directly from
+coverage lists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.regret import RegretBreakdown, dual_objective, regret, regret_breakdown
+
+
+class MROAMInstance:
+    """One input to the MROAM problem.
+
+    Parameters
+    ----------
+    coverage:
+        The billboard → trajectory coverage index.
+    advertisers:
+        The advertiser proposals; ids must be dense ``0..n-1`` in order.
+    gamma:
+        Unsatisfied penalty ratio ``γ ∈ [0, 1]`` (paper default 0.5).
+    """
+
+    def __init__(
+        self,
+        coverage: CoverageIndex,
+        advertisers: Sequence[Advertiser],
+        gamma: float = 0.5,
+    ) -> None:
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+        advertisers = list(advertisers)
+        if not advertisers:
+            raise ValueError("an MROAM instance needs at least one advertiser")
+        for expected_id, advertiser in enumerate(advertisers):
+            if advertiser.advertiser_id != expected_id:
+                raise ValueError(
+                    "advertiser ids must be dense 0..n-1 in order; "
+                    f"found id {advertiser.advertiser_id} at position {expected_id}"
+                )
+        self.coverage = coverage
+        self.advertisers = advertisers
+        self.gamma = float(gamma)
+        self.demands = np.array([a.demand for a in advertisers], dtype=np.float64)
+        self.payments = np.array([a.payment for a in advertisers], dtype=np.float64)
+
+    @classmethod
+    def from_contracts(
+        cls,
+        coverage: CoverageIndex,
+        contracts: Sequence[tuple[int, float]],
+        gamma: float = 0.5,
+    ) -> "MROAMInstance":
+        """Build an instance from ``(demand, payment)`` pairs."""
+        advertisers = [
+            Advertiser(i, demand, payment) for i, (demand, payment) in enumerate(contracts)
+        ]
+        return cls(coverage, advertisers, gamma)
+
+    @property
+    def num_advertisers(self) -> int:
+        return len(self.advertisers)
+
+    @property
+    def num_billboards(self) -> int:
+        return self.coverage.num_billboards
+
+    def regret_of(self, advertiser_id: int, achieved: float) -> float:
+        """Eq. 1 regret of one advertiser at a given achieved influence."""
+        advertiser = self.advertisers[advertiser_id]
+        return regret(advertiser.payment, advertiser.demand, achieved, self.gamma)
+
+    def breakdown_of(self, advertiser_id: int, achieved: float) -> RegretBreakdown:
+        advertiser = self.advertisers[advertiser_id]
+        return regret_breakdown(advertiser.payment, advertiser.demand, achieved, self.gamma)
+
+    def dual_of(self, advertiser_id: int, achieved: float) -> float:
+        """Eq. 2 dual objective ``R'`` of one advertiser."""
+        advertiser = self.advertisers[advertiser_id]
+        return dual_objective(advertiser.payment, advertiser.demand, achieved)
+
+    @property
+    def global_demand(self) -> float:
+        """``I^A = Σ_i I_i`` — total demanded influence."""
+        return float(self.demands.sum())
+
+    @property
+    def demand_supply_ratio(self) -> float:
+        """The realized ``α = I^A / I*`` of this instance."""
+        supply = self.coverage.supply
+        return self.global_demand / supply if supply else float("inf")
+
+    def total_payment(self) -> float:
+        """``Σ_i L_i`` — the revenue ceiling (upper bound of ``Σ R'``)."""
+        return float(self.payments.sum())
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"MROAM(|U|={self.num_billboards}, |T|={self.coverage.num_trajectories}, "
+            f"|A|={self.num_advertisers}, gamma={self.gamma}, "
+            f"alpha={self.demand_supply_ratio:.2f})"
+        )

@@ -1,0 +1,109 @@
+"""The regret model (paper Eq. 1) and its dual rewiring (Eq. 2).
+
+For an advertiser with demand ``I`` and payment ``L`` assigned a billboard
+set achieving influence ``v = I(S)``:
+
+* **Revenue regret** (``v < I``): the host forfeits part of the payment —
+  ``R = L · (1 − γ · v/I)`` where ``γ ∈ [0, 1]`` is the unsatisfied penalty
+  ratio (γ=1: pro-rata payment; γ=0: all-or-nothing).
+* **Excessive-influence regret** (``v ≥ I``): over-delivery is an opportunity
+  cost — ``R = L · (v − I)/I``.
+
+The dual objective ``R'`` (Eq. 2) satisfies ``R + R' = L`` in the satisfied
+branch and mirrors the structure in the unsatisfied branch; the paper proves
+the billboard-driven local search approximates *maximizing* ``R'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _check_contract(payment: float, demand: float, gamma: float) -> None:
+    if demand <= 0:
+        raise ValueError(f"demand must be positive, got {demand}")
+    if payment < 0:
+        raise ValueError(f"payment must be non-negative, got {payment}")
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+
+
+def regret(payment: float, demand: float, achieved: float, gamma: float) -> float:
+    """Eq. 1: the host's regret for one advertiser.
+
+    Parameters
+    ----------
+    payment:
+        The advertiser's committed payment ``L``.
+    demand:
+        The demanded influence ``I`` (must be positive).
+    achieved:
+        The influence ``I(S)`` delivered by the assigned billboard set.
+    gamma:
+        Unsatisfied penalty ratio ``γ ∈ [0, 1]``.
+    """
+    _check_contract(payment, demand, gamma)
+    if achieved < 0:
+        raise ValueError(f"achieved influence must be non-negative, got {achieved}")
+    if achieved < demand:
+        return payment * (1.0 - gamma * achieved / demand)
+    return payment * (achieved - demand) / demand
+
+
+def dual_objective(payment: float, demand: float, achieved: float) -> float:
+    """Eq. 2: the rewired (maximization) objective ``R'``.
+
+    ``R'(S) = L · I(S)/I`` when unsatisfied and ``L − L · (I(S) − I)/I`` when
+    satisfied; note ``R(S) = 0 ⟺ R'(S) = L`` and, with γ = 1,
+    ``R(S) + R'(S) = L`` for any achieved influence.
+    """
+    _check_contract(payment, demand, gamma=1.0)
+    if achieved < 0:
+        raise ValueError(f"achieved influence must be non-negative, got {achieved}")
+    if achieved < demand:
+        return payment * achieved / demand
+    return payment - payment * (achieved - demand) / demand
+
+
+@dataclass(frozen=True, slots=True)
+class RegretBreakdown:
+    """Decomposition of one advertiser's regret into its two sources.
+
+    The experiment section reports total regret as a stacked bar of the
+    *unsatisfied penalty* (revenue regret) and the *excessive influence*
+    (opportunity-cost regret); exactly one of the two components is nonzero
+    for any single advertiser.
+    """
+
+    total: float
+    unsatisfied_penalty: float
+    excessive_influence: float
+
+    def __add__(self, other: "RegretBreakdown") -> "RegretBreakdown":
+        return RegretBreakdown(
+            self.total + other.total,
+            self.unsatisfied_penalty + other.unsatisfied_penalty,
+            self.excessive_influence + other.excessive_influence,
+        )
+
+    @classmethod
+    def zero(cls) -> "RegretBreakdown":
+        return cls(0.0, 0.0, 0.0)
+
+    @property
+    def unsatisfied_share(self) -> float:
+        """Fraction of the total regret due to the unsatisfied penalty."""
+        return self.unsatisfied_penalty / self.total if self.total > 0 else 0.0
+
+    @property
+    def excessive_share(self) -> float:
+        """Fraction of the total regret due to excessive influence."""
+        return self.excessive_influence / self.total if self.total > 0 else 0.0
+
+
+def regret_breakdown(payment: float, demand: float, achieved: float, gamma: float) -> RegretBreakdown:
+    """Eq. 1 regret, labelled by which branch produced it."""
+    value = regret(payment, demand, achieved, gamma)
+    if achieved < demand:
+        return RegretBreakdown(value, unsatisfied_penalty=value, excessive_influence=0.0)
+    return RegretBreakdown(value, unsatisfied_penalty=0.0, excessive_influence=value)

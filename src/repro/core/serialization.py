@@ -1,0 +1,90 @@
+"""Persistence of deployment plans.
+
+A plan is meaningful only against the instance that produced it, so the
+JSON document embeds a fingerprint of the instance (sizes, demands,
+payments, γ) and loading validates it before reconstructing the allocation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+
+FORMAT_VERSION = 1
+
+
+def _fingerprint(instance: MROAMInstance) -> dict:
+    return {
+        "num_billboards": instance.num_billboards,
+        "num_trajectories": instance.coverage.num_trajectories,
+        "gamma": instance.gamma,
+        "demands": [int(d) for d in instance.demands],
+        "payments": [float(p) for p in instance.payments],
+    }
+
+
+def allocation_to_dict(allocation: Allocation) -> dict:
+    """Serialize a plan (assignment only; the instance is fingerprinted)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "instance": _fingerprint(allocation.instance),
+        "assignment": {
+            str(advertiser_id): sorted(billboard_set)
+            for advertiser_id, billboard_set in allocation.assignment_map().items()
+            if billboard_set
+        },
+        "total_regret": allocation.total_regret(),
+    }
+
+
+def allocation_from_dict(document: dict, instance: MROAMInstance) -> Allocation:
+    """Rebuild a plan against ``instance``; validates the fingerprint."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported plan format version {version!r}")
+    expected = _fingerprint(instance)
+    recorded = document.get("instance", {})
+    if recorded != expected:
+        mismatched = sorted(
+            key for key in expected if recorded.get(key) != expected[key]
+        )
+        raise ValueError(
+            f"plan was saved against a different instance (mismatch in {mismatched})"
+        )
+
+    allocation = Allocation(instance)
+    for advertiser_key, billboard_ids in document.get("assignment", {}).items():
+        advertiser_id = int(advertiser_key)
+        if not 0 <= advertiser_id < instance.num_advertisers:
+            raise ValueError(f"advertiser id {advertiser_id} out of range")
+        for billboard_id in billboard_ids:
+            allocation.assign(int(billboard_id), advertiser_id)
+
+    recorded_regret = document.get("total_regret")
+    if recorded_regret is not None:
+        actual = allocation.total_regret()
+        if abs(actual - recorded_regret) > 1e-6 * max(1.0, abs(recorded_regret)):
+            raise ValueError(
+                f"reconstructed regret {actual} differs from the recorded "
+                f"{recorded_regret}; the instance does not match"
+            )
+    return allocation
+
+
+def save_allocation(allocation: Allocation, path: str | Path) -> Path:
+    """Write a plan to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(allocation_to_dict(allocation), handle, indent=2)
+    return path
+
+
+def load_allocation(path: str | Path, instance: MROAMInstance) -> Allocation:
+    """Load a plan saved by :func:`save_allocation`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return allocation_from_dict(document, instance)

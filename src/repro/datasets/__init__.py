@@ -1,0 +1,44 @@
+"""Dataset simulators standing in for the paper's proprietary data.
+
+The paper evaluates on two real corpora we cannot redistribute: NYC LAMAR
+billboards + TLC taxi trajectories, and SG JCDecaux bus-stop billboards +
+EZ-link bus trips.  The generators here synthesize cities with the same
+*coverage structure* (see DESIGN.md §2 for the substitution argument):
+
+* :func:`generate_nyc` — hotspot-concentrated billboards, Manhattan-path taxi
+  trips ⇒ many high-influence billboards with strongly overlapping coverage.
+* :func:`generate_sg` — bus routes with stop-mounted billboards, trips as
+  contiguous stop windows ⇒ more billboards, lower and more uniform
+  influence, little overlap.
+"""
+
+from repro.datasets.example1 import (
+    example1_instance,
+    example1_strategy1,
+    example1_strategy2,
+)
+from repro.datasets.io import load_city, save_city
+from repro.datasets.nyc import generate_nyc
+from repro.datasets.sg import generate_sg
+from repro.datasets.synthetic import CityDataset
+
+__all__ = [
+    "CityDataset",
+    "example1_instance",
+    "example1_strategy1",
+    "example1_strategy2",
+    "generate_nyc",
+    "generate_sg",
+    "load_city",
+    "save_city",
+]
+
+
+def generate_city(name: str, **kwargs) -> CityDataset:
+    """Dispatch on dataset name (``"nyc"`` or ``"sg"``)."""
+    key = name.lower()
+    if key == "nyc":
+        return generate_nyc(**kwargs)
+    if key == "sg":
+        return generate_sg(**kwargs)
+    raise ValueError(f"unknown city {name!r}; expected 'nyc' or 'sg'")

@@ -1,0 +1,57 @@
+"""The worked example of the paper's Section 1 (Tables 1–4).
+
+Six billboards with influences ``(2, 6, 3, 7, 1, 1)`` over disjoint
+trajectory sets, three advertisers ``a1 (I=5, L=$10)``, ``a2 (I=7, L=$11)``,
+``a3 (I=8, L=$20)``.  Strategy 1 (Table 3) satisfies a1 with excess and
+leaves a3 short by one; Strategy 2 (Table 4) satisfies everyone exactly for
+zero regret.  (The influence of ``o3`` is not legible in Table 1 of the
+available text; the value 3 is forced by both strategies' reported
+``I(S_i) − I_i`` rows.)
+"""
+
+from __future__ import annotations
+
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+
+#: Table 1 billboard influences, o1..o6.
+BILLBOARD_INFLUENCES = (2, 6, 3, 7, 1, 1)
+
+#: Table 2 advertiser contracts, a1..a3 as (demand, payment).
+ADVERTISER_CONTRACTS = ((5, 10.0), (7, 11.0), (8, 20.0))
+
+
+def example1_instance(gamma: float = 0.5) -> MROAMInstance:
+    """Build the Section 1 instance (billboards cover disjoint trajectories,
+    so set influence aggregates exactly as the example's arithmetic does)."""
+    coverage_lists: list[range] = []
+    cursor = 0
+    for influence in BILLBOARD_INFLUENCES:
+        coverage_lists.append(range(cursor, cursor + influence))
+        cursor += influence
+    coverage = CoverageIndex.from_coverage_lists(coverage_lists, num_trajectories=cursor)
+    advertisers = [
+        Advertiser(i, demand, payment, name=f"a{i + 1}")
+        for i, (demand, payment) in enumerate(ADVERTISER_CONTRACTS)
+    ]
+    return MROAMInstance(coverage, advertisers, gamma=gamma)
+
+
+def _allocate(instance: MROAMInstance, plan: dict[int, tuple[int, ...]]) -> Allocation:
+    allocation = Allocation(instance)
+    for advertiser_id, billboard_ids in plan.items():
+        for billboard_id in billboard_ids:
+            allocation.assign(billboard_id, advertiser_id)
+    return allocation
+
+
+def example1_strategy1(instance: MROAMInstance) -> Allocation:
+    """Table 3: S1={o2}, S2={o4}, S3={o1, o3, o5, o6} — a3 unsatisfied."""
+    return _allocate(instance, {0: (1,), 1: (3,), 2: (0, 2, 4, 5)})
+
+
+def example1_strategy2(instance: MROAMInstance) -> Allocation:
+    """Table 4: S1={o1, o3}, S2={o4}, S3={o2, o5, o6} — everyone exact, R=0."""
+    return _allocate(instance, {0: (0, 2), 1: (3,), 2: (1, 4, 5)})

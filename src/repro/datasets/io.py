@@ -1,0 +1,103 @@
+"""Persistence of generated cities.
+
+Cities are saved as a directory of two CSV files:
+
+* ``billboards.csv`` — ``billboard_id,x,y,label``
+* ``trajectories.csv`` — one row per point:
+  ``trajectory_id,point_index,x,y,travel_time`` (travel time repeated per
+  trajectory for simplicity of the flat format).
+
+The format is deliberately plain so saved cities can be inspected or fed to
+other tooling; full-scale corpora stay compact enough (tens of MB).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.billboard.model import BillboardDB
+from repro.datasets.synthetic import CityDataset
+from repro.trajectory.model import Trajectory, TrajectoryDB
+
+BILLBOARD_FILE = "billboards.csv"
+TRAJECTORY_FILE = "trajectories.csv"
+
+
+def save_city(city: CityDataset, directory: str | Path) -> Path:
+    """Write a city to ``directory`` (created if needed); returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / BILLBOARD_FILE, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["billboard_id", "x", "y", "label"])
+        for billboard in city.billboards:
+            writer.writerow(
+                [
+                    billboard.billboard_id,
+                    f"{billboard.location.x:.3f}",
+                    f"{billboard.location.y:.3f}",
+                    billboard.label,
+                ]
+            )
+
+    with open(directory / TRAJECTORY_FILE, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["trajectory_id", "point_index", "x", "y", "travel_time", "start_time"]
+        )
+        for trajectory in city.trajectories:
+            for point_index, (x, y) in enumerate(trajectory.points):
+                writer.writerow(
+                    [
+                        trajectory.trajectory_id,
+                        point_index,
+                        f"{x:.3f}",
+                        f"{y:.3f}",
+                        f"{trajectory.travel_time:.3f}",
+                        f"{trajectory.start_time:.3f}",
+                    ]
+                )
+    return directory
+
+
+def load_city(directory: str | Path, name: str | None = None) -> CityDataset:
+    """Load a city previously written by :func:`save_city`."""
+    directory = Path(directory)
+
+    locations: list[list[float]] = []
+    labels: list[str] = []
+    with open(directory / BILLBOARD_FILE, newline="") as handle:
+        for row_index, row in enumerate(csv.DictReader(handle)):
+            if int(row["billboard_id"]) != row_index:
+                raise ValueError(
+                    f"billboard ids must be dense and ordered; row {row_index} has "
+                    f"id {row['billboard_id']}"
+                )
+            locations.append([float(row["x"]), float(row["y"])])
+            labels.append(row["label"])
+    billboards = BillboardDB.from_locations(np.array(locations), labels)
+
+    points_by_trajectory: dict[int, list[list[float]]] = {}
+    travel_times: dict[int, float] = {}
+    start_times: dict[int, float] = {}
+    with open(directory / TRAJECTORY_FILE, newline="") as handle:
+        for row in csv.DictReader(handle):
+            trajectory_id = int(row["trajectory_id"])
+            points_by_trajectory.setdefault(trajectory_id, []).append(
+                [float(row["x"]), float(row["y"])]
+            )
+            travel_times[trajectory_id] = float(row["travel_time"])
+            # start_time was added for the digital-billboard extension; files
+            # written by older versions simply lack the column.
+            start_times[trajectory_id] = float(row.get("start_time") or 0.0)
+    trajectories = TrajectoryDB(
+        Trajectory(
+            tid, np.array(points_by_trajectory[tid]), travel_times[tid], start_times[tid]
+        )
+        for tid in sorted(points_by_trajectory)
+    )
+    return CityDataset(name or directory.name, billboards, trajectories)

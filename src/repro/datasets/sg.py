@@ -1,0 +1,132 @@
+"""SG-like city generator: bus routes with stop-mounted billboards.
+
+Target structure (paper Figure 1, Table 5 and Section 7.2.2):
+
+* *more* billboards than NYC (4 092 at full scale), one per bus stop;
+* *lower, more uniform* per-billboard influence — each stop's panel is seen
+  mostly by trips of its own route;
+* *little coverage overlap* — bus stops are sparse, so the impression-count
+  curve (Fig. 1b) rises steeply;
+* λ-insensitivity below the inter-stop spacing, with a regret jump at
+  λ = 200 m because some stops sit near route intersections (Section 7.4);
+* average trip distance ≈ 4.2 km, travel time ≈ 1 342 s (≈ 3.1 m/s with
+  dwell times).
+
+Routes are meandering polylines across a ~24 × 17 km island; stops are laid
+every ≈ 420 m along each route; a trip is a contiguous window of stops of
+one route, traversed through the route's geometry (so, at large λ, a trip
+can also brush stops of *crossing* routes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.model import BillboardDB
+from repro.datasets.synthetic import CityDataset, meandering_polyline
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import interpolate_path
+from repro.trajectory.departures import rush_hour_departures
+from repro.trajectory.model import Trajectory, TrajectoryDB
+from repro.utils.rng import as_generator
+
+#: Full-scale defaults (paper Table 5: |U| = 4092, |T| = 2.2M).
+DEFAULT_BILLBOARDS = 4092
+DEFAULT_TRAJECTORIES = 20_000
+
+_CITY_WIDTH_M = 24_000.0
+_CITY_HEIGHT_M = 17_000.0
+_STOP_SPACING_M = 420.0
+_BUS_SPEED_MPS = 3.1
+_MEAN_TRIP_STOPS = 10  # ≈ 4.2 km at 420 m spacing
+_ROUTE_SEGMENT_M = 800.0
+_ROUTE_TURN_SIGMA = 0.35
+_SAMPLE_SPACING_M = 80.0
+
+
+def _build_routes(
+    rng: np.random.Generator, n_stops_total: int, bbox: BoundingBox
+) -> list[np.ndarray]:
+    """Route stop arrays, ``(k_r, 2)`` each, totalling ``n_stops_total`` stops.
+
+    Routes start near the boundary or interior and meander; each carries
+    between 25 and 80 stops (typical Singapore trunk/feeder mix).
+    """
+    routes: list[np.ndarray] = []
+    remaining = n_stops_total
+    while remaining > 0:
+        stops_on_route = int(rng.integers(25, 81))
+        stops_on_route = min(stops_on_route, remaining)
+        if remaining - stops_on_route < 5:
+            stops_on_route = remaining  # avoid a trailing stub route
+        start = np.array(
+            [
+                rng.uniform(bbox.min_x, bbox.max_x),
+                rng.uniform(bbox.min_y, bbox.max_y),
+            ]
+        )
+        heading = rng.uniform(0.0, 2.0 * np.pi)
+        length = stops_on_route * _STOP_SPACING_M
+        polyline = meandering_polyline(
+            rng, start, heading, length, _ROUTE_SEGMENT_M, _ROUTE_TURN_SIGMA, bbox
+        )
+        stops = interpolate_path(polyline, _STOP_SPACING_M)
+        if len(stops) > stops_on_route:
+            stops = stops[:stops_on_route]
+        elif len(stops) < stops_on_route:
+            # Route got clipped by the boundary; the shortfall goes back into
+            # the pool for subsequent routes.
+            stops_on_route = len(stops)
+        if stops_on_route < 2:
+            continue
+        routes.append(stops)
+        remaining -= stops_on_route
+    return routes
+
+
+def generate_sg(
+    n_billboards: int = DEFAULT_BILLBOARDS,
+    n_trajectories: int = DEFAULT_TRAJECTORIES,
+    seed=None,
+) -> CityDataset:
+    """Generate the SG-like dataset (see module docstring)."""
+    if n_billboards <= 0 or n_trajectories <= 0:
+        raise ValueError("corpus sizes must be positive")
+    rng = as_generator(seed)
+    bbox = BoundingBox(0.0, 0.0, _CITY_WIDTH_M, _CITY_HEIGHT_M)
+
+    routes = _build_routes(rng, n_billboards, bbox)
+    stops = np.vstack(routes)
+    billboards = BillboardDB.from_locations(
+        stops,
+        labels=[
+            f"route{route_idx}-stop{stop_idx}"
+            for route_idx, route in enumerate(routes)
+            for stop_idx in range(len(route))
+        ],
+    )
+
+    # Trip demand concentrates on longer (trunk) routes.
+    route_weights = np.array([len(route) for route in routes], dtype=np.float64)
+    route_weights /= route_weights.sum()
+
+    departures = rush_hour_departures(n_trajectories, seed=rng)
+    trajectories: list[Trajectory] = []
+    for trajectory_id in range(n_trajectories):
+        route = routes[int(rng.choice(len(routes), p=route_weights))]
+        trip_stops = max(2, int(rng.poisson(_MEAN_TRIP_STOPS)))
+        trip_stops = min(trip_stops, len(route))
+        start = int(rng.integers(0, len(route) - trip_stops + 1))
+        window = route[start : start + trip_stops]
+        if rng.random() < 0.5:
+            window = window[::-1]  # buses run both directions
+        points = interpolate_path(window, _SAMPLE_SPACING_M)
+        # Dwell at stops makes bus journeys slow relative to distance.
+        travel_time = (
+            trip_stops * _STOP_SPACING_M / _BUS_SPEED_MPS
+        )
+        trajectories.append(
+            Trajectory(trajectory_id, points, travel_time, float(departures[trajectory_id]))
+        )
+
+    return CityDataset("SG", billboards, TrajectoryDB(trajectories))

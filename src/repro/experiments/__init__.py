@@ -1,0 +1,42 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+* :mod:`repro.experiments.configs` — the Table 6 parameter grid and scaled
+  bench defaults.
+* :mod:`repro.experiments.harness` — runs algorithm × parameter sweeps and
+  collects regret decompositions and runtimes.
+* :mod:`repro.experiments.metrics` — per-run effectiveness metrics.
+* :mod:`repro.experiments.reporting` — text renditions of the paper's
+  figures (stacked-bar tables, runtime series, distribution curves).
+"""
+
+from repro.experiments.configs import (
+    ALPHA_VALUES,
+    BENCH_SCALE,
+    GAMMA_VALUES,
+    LAMBDA_VALUES,
+    P_AVG_VALUES,
+    default_scenario,
+)
+from repro.experiments.harness import ExperimentResult, run_cell, sweep
+from repro.experiments.metrics import CellMetrics
+from repro.experiments.reporting import (
+    format_distribution_table,
+    format_regret_table,
+    format_runtime_table,
+)
+
+__all__ = [
+    "ALPHA_VALUES",
+    "BENCH_SCALE",
+    "CellMetrics",
+    "ExperimentResult",
+    "GAMMA_VALUES",
+    "LAMBDA_VALUES",
+    "P_AVG_VALUES",
+    "default_scenario",
+    "format_distribution_table",
+    "format_regret_table",
+    "format_runtime_table",
+    "run_cell",
+    "sweep",
+]

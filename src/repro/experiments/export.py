@@ -1,0 +1,71 @@
+"""CSV export of experiment results.
+
+The benchmarks print text tables; downstream plotting (or a spreadsheet)
+wants flat CSV.  One row per (sweep value, method) with the full regret
+decomposition and runtime.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentResult
+
+SWEEP_COLUMNS = (
+    "parameter",
+    "value",
+    "method",
+    "total_regret",
+    "unsatisfied_penalty",
+    "excessive_influence",
+    "satisfied_advertisers",
+    "num_advertisers",
+    "runtime_s",
+)
+
+
+def sweep_to_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one sweep's metrics to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SWEEP_COLUMNS)
+        for value in result.values:
+            for method, metrics in result.cells[value].items():
+                writer.writerow(
+                    [
+                        result.parameter,
+                        value,
+                        method,
+                        f"{metrics.total_regret:.6f}",
+                        f"{metrics.unsatisfied_penalty:.6f}",
+                        f"{metrics.excessive_influence:.6f}",
+                        metrics.satisfied_advertisers,
+                        metrics.num_advertisers,
+                        f"{metrics.runtime_s:.6f}",
+                    ]
+                )
+    return path
+
+
+def load_sweep_csv(path: str | Path) -> list[dict]:
+    """Read a sweep CSV back as a list of typed row dicts."""
+    rows = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            rows.append(
+                {
+                    "parameter": row["parameter"],
+                    "value": float(row["value"]),
+                    "method": row["method"],
+                    "total_regret": float(row["total_regret"]),
+                    "unsatisfied_penalty": float(row["unsatisfied_penalty"]),
+                    "excessive_influence": float(row["excessive_influence"]),
+                    "satisfied_advertisers": int(row["satisfied_advertisers"]),
+                    "num_advertisers": int(row["num_advertisers"]),
+                    "runtime_s": float(row["runtime_s"]),
+                }
+            )
+    return rows

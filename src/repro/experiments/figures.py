@@ -1,0 +1,106 @@
+"""Declarative registry of the paper's figures.
+
+Maps figure ids (``"fig2"`` … ``"fig12"``) to the sweep that regenerates
+them, so the CLI (``mroam figure fig4``) and notebooks can reproduce any
+figure without knowing the parameterization by heart.  The benchmark suite
+under ``benchmarks/`` remains the canonical (asserted) reproduction; this
+registry is the convenience interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import (
+    ALPHA_VALUES,
+    BENCH_RESTARTS,
+    GAMMA_VALUES,
+    LAMBDA_VALUES,
+    P_AVG_VALUES,
+    default_scenario,
+)
+from repro.experiments.harness import ExperimentResult, sweep
+from repro.experiments.reporting import format_regret_table, format_runtime_table
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure's parameterization."""
+
+    figure_id: str
+    title: str
+    dataset: str
+    parameter: str
+    values: tuple
+    value_format: str
+    overrides: dict
+    runtime_table: bool = False  # Figures 8-9 report runtimes
+
+
+FIGURES: dict[str, FigureSpec] = {
+    spec.figure_id: spec
+    for spec in (
+        FigureSpec("fig2", "Figure 2: regret vs alpha (NYC, p=1%)", "nyc", "alpha",
+                   ALPHA_VALUES, "{:.0%}", {"p_avg": 0.01}),
+        FigureSpec("fig3", "Figure 3: regret vs alpha (NYC, p=2%)", "nyc", "alpha",
+                   ALPHA_VALUES, "{:.0%}", {"p_avg": 0.02}),
+        FigureSpec("fig4", "Figure 4: regret vs alpha (NYC, p=5%)", "nyc", "alpha",
+                   ALPHA_VALUES, "{:.0%}", {"p_avg": 0.05}),
+        FigureSpec("fig5", "Figure 5: regret vs alpha (NYC, p=10%)", "nyc", "alpha",
+                   ALPHA_VALUES, "{:.0%}", {"p_avg": 0.10}),
+        FigureSpec("fig6", "Figure 6: regret vs alpha (NYC, p=20%)", "nyc", "alpha",
+                   ALPHA_VALUES, "{:.0%}", {"p_avg": 0.20}),
+        FigureSpec("fig7", "Figure 7: regret vs alpha (SG, default)", "sg", "alpha",
+                   ALPHA_VALUES, "{:.0%}", {}),
+        FigureSpec("fig8", "Figure 8: runtime vs alpha (NYC)", "nyc", "alpha",
+                   ALPHA_VALUES, "{:.0%}", {}, runtime_table=True),
+        FigureSpec("fig9", "Figure 9: runtime vs p (NYC)", "nyc", "p_avg",
+                   P_AVG_VALUES, "{:.0%}", {}, runtime_table=True),
+        FigureSpec("fig10", "Figure 10: regret vs gamma (NYC)", "nyc", "gamma",
+                   GAMMA_VALUES, "{:.2f}", {}),
+        FigureSpec("fig11", "Figure 11: regret vs gamma (SG)", "sg", "gamma",
+                   GAMMA_VALUES, "{:.2f}", {}),
+        FigureSpec("fig12", "Figure 12: regret vs lambda (NYC)", "nyc", "lambda_m",
+                   LAMBDA_VALUES, "{:.0f}", {}),
+    )
+}
+
+
+def run_figure(
+    figure_id: str,
+    seed: int = 7,
+    restarts: int = BENCH_RESTARTS,
+    scale: tuple[int, int] | None = None,
+) -> tuple[ExperimentResult, str]:
+    """Regenerate one figure; returns ``(sweep result, formatted table)``.
+
+    Parameters
+    ----------
+    figure_id:
+        A key of :data:`FIGURES` (case-insensitive, e.g. ``"fig4"``).
+    seed:
+        City and contract seed.
+    restarts:
+        ALS/BLS restart budget.
+    scale:
+        Optional ``(n_billboards, n_trajectories)`` override for quick runs.
+    """
+    key = figure_id.lower()
+    if key not in FIGURES:
+        raise ValueError(
+            f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
+        )
+    spec = FIGURES[key]
+    scenario = default_scenario(spec.dataset, seed=seed)
+    if spec.overrides:
+        scenario = scenario.with_params(**spec.overrides)
+    if scale is not None:
+        scenario = scenario.with_params(
+            n_billboards=scale[0], n_trajectories=scale[1]
+        )
+    result = sweep(scenario, spec.parameter, spec.values, restarts=restarts)
+    if spec.runtime_table:
+        table = format_runtime_table(result, spec.title, spec.value_format)
+    else:
+        table = format_regret_table(result, spec.title, spec.value_format)
+    return result, table

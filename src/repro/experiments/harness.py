@@ -1,0 +1,118 @@
+"""The experiment runner.
+
+``run_cell`` executes the paper's four methods on one scenario cell;
+``sweep`` varies one parameter while holding the rest at the scenario's
+values, reusing a single generated city across the sweep (so coverage is
+recomputed only when λ changes, exactly as a real host's data would be).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.algorithms.registry import PAPER_METHODS, make_solver
+from repro.core.problem import MROAMInstance
+from repro.datasets.synthetic import CityDataset
+from repro.experiments.configs import BENCH_RESTARTS
+from repro.experiments.metrics import CellMetrics
+from repro.market.scenario import Scenario
+
+
+@dataclass
+class ExperimentResult:
+    """All metrics of one sweep: ``cells[param_value][method] -> CellMetrics``."""
+
+    parameter: str
+    values: list
+    cells: dict = field(default_factory=dict)
+
+    def metric(self, value, method: str) -> CellMetrics:
+        return self.cells[value][method]
+
+    def series(self, method: str, attribute: str = "total_regret") -> list[float]:
+        """One method's metric across the sweep, in sweep order."""
+        return [getattr(self.cells[value][method], attribute) for value in self.values]
+
+
+def _solver_kwargs(method: str, restarts: int) -> dict:
+    if method in ("als", "bls"):
+        return {"restarts": restarts}
+    return {}
+
+
+def run_cell(
+    scenario: Scenario,
+    city: CityDataset | None = None,
+    methods: Sequence[str] = PAPER_METHODS,
+    restarts: int = BENCH_RESTARTS,
+    solver_seed: int = 0,
+    instance: MROAMInstance | None = None,
+    runtime_repeats: int = 1,
+) -> dict[str, CellMetrics]:
+    """Run each method on one cell; returns ``{method: CellMetrics}``.
+
+    ``runtime_repeats > 1`` re-runs each solver and reports the mean
+    wall-clock time (the paper's efficiency study averages five runs); the
+    regret metrics come from the first run.
+    """
+    if runtime_repeats < 1:
+        raise ValueError(f"runtime_repeats must be >= 1, got {runtime_repeats}")
+    if instance is None:
+        instance = scenario.build_instance(city)
+    results = {}
+    for method in methods:
+        solver = make_solver(method, seed=solver_seed, **_solver_kwargs(method, restarts))
+        first = solver.solve(instance)
+        metrics = CellMetrics.from_result(method, first)
+        if runtime_repeats > 1:
+            runtimes = [first.runtime_s]
+            for repeat in range(1, runtime_repeats):
+                repeat_solver = make_solver(
+                    method, seed=solver_seed, **_solver_kwargs(method, restarts)
+                )
+                runtimes.append(repeat_solver.solve(instance).runtime_s)
+            metrics = replace(metrics, runtime_s=sum(runtimes) / len(runtimes))
+        results[method] = metrics
+    return results
+
+
+def sweep(
+    scenario: Scenario,
+    parameter: str,
+    values: Sequence,
+    methods: Sequence[str] = PAPER_METHODS,
+    restarts: int = BENCH_RESTARTS,
+    solver_seed: int = 0,
+    city: CityDataset | None = None,
+    runtime_repeats: int = 1,
+) -> ExperimentResult:
+    """Vary one scenario field across ``values``; other fields stay fixed.
+
+    Parameters
+    ----------
+    scenario:
+        The base cell (its ``parameter`` field is overridden per value).
+    parameter:
+        A :class:`Scenario` field name — ``"alpha"``, ``"p_avg"``,
+        ``"gamma"``, or ``"lambda_m"``.
+    values:
+        The sweep values (e.g. ``ALPHA_VALUES``).
+    city:
+        Optional pre-generated city to reuse; generated once from the base
+        scenario otherwise.
+    """
+    if city is None:
+        city = scenario.build_city()
+    result = ExperimentResult(parameter=parameter, values=list(values))
+    for value in values:
+        cell_scenario = scenario.with_params(**{parameter: value})
+        result.cells[value] = run_cell(
+            cell_scenario,
+            city=city,
+            methods=methods,
+            restarts=restarts,
+            solver_seed=solver_seed,
+            runtime_repeats=runtime_repeats,
+        )
+    return result

@@ -1,0 +1,53 @@
+"""Per-cell effectiveness and efficiency metrics.
+
+The paper reports, per (cell, algorithm): total regret as a stacked bar of
+the *excessive influence* and *unsatisfied penalty* components (with their
+percentages printed on top), plus satisfied-advertiser counts in the
+discussion and wall-clock runtime in the efficiency study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import SolverResult
+
+
+@dataclass(frozen=True)
+class CellMetrics:
+    """Metrics of one algorithm on one experiment cell."""
+
+    method: str
+    total_regret: float
+    unsatisfied_penalty: float
+    excessive_influence: float
+    satisfied_advertisers: int
+    num_advertisers: int
+    runtime_s: float
+
+    @classmethod
+    def from_result(cls, method: str, result: SolverResult) -> "CellMetrics":
+        breakdown = result.breakdown
+        return cls(
+            method=method,
+            total_regret=result.total_regret,
+            unsatisfied_penalty=breakdown.unsatisfied_penalty,
+            excessive_influence=breakdown.excessive_influence,
+            satisfied_advertisers=result.satisfied_count,
+            num_advertisers=result.allocation.instance.num_advertisers,
+            runtime_s=result.runtime_s,
+        )
+
+    @property
+    def unsatisfied_pct(self) -> float:
+        """Percentage of total regret from the unsatisfied penalty."""
+        if self.total_regret <= 0:
+            return 0.0
+        return 100.0 * self.unsatisfied_penalty / self.total_regret
+
+    @property
+    def excessive_pct(self) -> float:
+        """Percentage of total regret from excessive influence."""
+        if self.total_regret <= 0:
+            return 0.0
+        return 100.0 * self.excessive_influence / self.total_regret

@@ -1,0 +1,98 @@
+"""Text renditions of the paper's figures.
+
+The paper draws stacked bars (total regret split into excessive influence
+and unsatisfied penalty, with the two percentages printed on top of each
+bar) and line charts (runtimes, distributions).  These formatters print the
+same rows/series as plain-text tables so a terminal run of a bench shows
+the same information as the corresponding figure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.harness import ExperimentResult
+
+_METHOD_LABELS = {
+    "g-order": "G-Order",
+    "g-global": "G-Global",
+    "als": "ALS",
+    "bls": "BLS",
+}
+
+
+def _label(method: str) -> str:
+    return _METHOD_LABELS.get(method, method)
+
+
+def format_regret_table(
+    result: ExperimentResult,
+    title: str,
+    value_format: str = "{:.0%}",
+) -> str:
+    """The stacked-bar figures as a table.
+
+    One row per (sweep value, method): total regret plus the excessive /
+    unsatisfied percentages that the paper prints above each bar.
+    """
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{result.parameter:>10} | {'method':<9} | {'regret':>12} | "
+        f"{'excess%':>8} | {'unsat%':>8} | {'satisfied':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for value in result.values:
+        for method, metrics in result.cells[value].items():
+            lines.append(
+                f"{value_format.format(value):>10} | {_label(method):<9} | "
+                f"{metrics.total_regret:>12.1f} | "
+                f"{metrics.excessive_pct:>7.1f}% | "
+                f"{metrics.unsatisfied_pct:>7.1f}% | "
+                f"{metrics.satisfied_advertisers:>4}/{metrics.num_advertisers:<4}"
+            )
+    return "\n".join(lines)
+
+
+def format_runtime_table(
+    result: ExperimentResult,
+    title: str,
+    value_format: str = "{:.0%}",
+) -> str:
+    """The efficiency figures (8–9) as a table of wall-clock seconds."""
+    methods = list(next(iter(result.cells.values())).keys())
+    lines = [title, "=" * len(title)]
+    header = f"{result.parameter:>10} | " + " | ".join(
+        f"{_label(method):>10}" for method in methods
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for value in result.values:
+        row = f"{value_format.format(value):>10} | " + " | ".join(
+            f"{result.cells[value][method].runtime_s:>9.3f}s" for method in methods
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_distribution_table(
+    fractions: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str,
+) -> str:
+    """Figure 1-style distribution curves as a table.
+
+    ``series`` maps a curve name (e.g. ``"NYC"``) to its values at each
+    fraction of billboards selected.
+    """
+    names = list(series)
+    lines = [title, "=" * len(title)]
+    header = f"{'% selected':>10} | " + " | ".join(f"{name:>8}" for name in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_index, fraction in enumerate(fractions):
+        row = f"{fraction:>9.0%} | " + " | ".join(
+            f"{series[name][row_index]:>8.3f}" for name in names
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Market model: advertiser generation from the paper's workload knobs.
+
+The paper parameterizes demand at two levels (Section 7.1.3):
+
+* the **demand–supply ratio** ``α = I^A / I*`` — global demand relative to
+  the host's supply;
+* the **average-individual demand ratio** ``p(Ī^A) = Ī^A / I*`` — how big
+  each advertiser is.
+
+Together they determine the advertiser count ``|A| = α / p`` and each
+advertiser's demand and payment.
+"""
+
+from repro.market.demand import advertiser_count, generate_advertisers
+from repro.market.online import OnlineHost, Quote
+from repro.market.scenario import Scenario
+
+__all__ = ["OnlineHost", "Quote", "Scenario", "advertiser_count", "generate_advertisers"]

@@ -1,0 +1,58 @@
+"""Advertiser generation (paper Section 7.1.3).
+
+Given the host's supply ``I*`` and the two workload ratios:
+
+* advertiser count: ``|A| = round(α / p(Ī^A))``;
+* demand: ``I_i = ⌊ω · I* · p(Ī^A)⌋`` with ``ω ~ Uniform[0.8, 1.2]``;
+* payment: ``L_i = ⌊ε · I_i⌋`` with ``ε ~ Uniform[0.9, 1.1]``.
+"""
+
+from __future__ import annotations
+
+from repro.core.advertiser import Advertiser
+from repro.utils.rng import as_generator
+
+OMEGA_RANGE = (0.8, 1.2)
+EPSILON_RANGE = (0.9, 1.1)
+
+
+def advertiser_count(alpha: float, p_avg: float) -> int:
+    """``|A| = round(α / p)`` — e.g. α=100 %, p=5 % ⇒ 20 advertisers."""
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if p_avg <= 0:
+        raise ValueError(f"p_avg must be positive, got {p_avg}")
+    return max(1, int(round(alpha / p_avg)))
+
+
+def generate_advertisers(
+    supply: int,
+    alpha: float,
+    p_avg: float,
+    seed=None,
+) -> list[Advertiser]:
+    """Sample the advertiser set for one experiment cell.
+
+    Parameters
+    ----------
+    supply:
+        The host's supply ``I* = Σ_o I({o})``.
+    alpha:
+        Demand–supply ratio (e.g. ``1.0`` for the paper's "full" setting).
+    p_avg:
+        Average-individual demand ratio (e.g. ``0.05`` default).
+    seed:
+        RNG seed or generator.
+    """
+    if supply <= 0:
+        raise ValueError(f"supply must be positive, got {supply}")
+    rng = as_generator(seed)
+    count = advertiser_count(alpha, p_avg)
+    advertisers = []
+    for advertiser_id in range(count):
+        omega = rng.uniform(*OMEGA_RANGE)
+        demand = max(1, int(omega * supply * p_avg))
+        epsilon = rng.uniform(*EPSILON_RANGE)
+        payment = float(max(1, int(epsilon * demand)))
+        advertisers.append(Advertiser(advertiser_id, demand, payment))
+    return advertisers

@@ -1,0 +1,167 @@
+"""Online host operations: proposals arriving one at a time.
+
+The paper's introduction motivates MROAM with hosts that "deal with multiple
+advertisers coming every day".  The batch solvers answer "given today's full
+proposal book, what is the best partition?"; this module layers the daily
+workflow on top:
+
+* :meth:`OnlineHost.quote` — price an incoming proposal without committing:
+  how much would total regret change if we accepted it and locally repaired
+  the plan?
+* :meth:`OnlineHost.accept` — commit the proposal and adopt the repaired
+  plan.
+* :meth:`OnlineHost.reoptimize` — run the full randomized local search over
+  the current book (e.g. nightly).
+
+Repair = serve the newcomer with the synchronous greedy over the free pool,
+then a bounded billboard-driven local search — the same building blocks as
+the paper's Algorithm 5, reused incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.bls import billboard_driven_local_search
+from repro.algorithms.greedy_global import synchronous_greedy
+from repro.algorithms.local_search import RandomizedLocalSearch
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+
+
+@dataclass(frozen=True)
+class Quote:
+    """The host's answer to "what would accepting this proposal cost me?"."""
+
+    advertiser_name: str
+    demand: int
+    payment: float
+    regret_before: float
+    regret_after: float
+    would_satisfy: bool
+
+    @property
+    def regret_delta(self) -> float:
+        """Regret change from accepting (negative = the book improves)."""
+        return self.regret_after - self.regret_before
+
+    @property
+    def attractive(self) -> bool:
+        """A proposal worth taking: the repaired plan's regret does not grow.
+
+        Accepting an unsatisfiable proposal adds (part of) its payment as
+        fresh unsatisfied penalty; accepting a serviceable one typically
+        leaves regret unchanged or lower.
+        """
+        return self.regret_delta <= 1e-9
+
+
+class OnlineHost:
+    """A host managing a growing proposal book over a fixed inventory."""
+
+    def __init__(
+        self,
+        coverage: CoverageIndex,
+        gamma: float = 0.5,
+        repair_sweeps: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if repair_sweeps < 0:
+            raise ValueError(f"repair_sweeps must be non-negative, got {repair_sweeps}")
+        self.coverage = coverage
+        self.gamma = gamma
+        self.repair_sweeps = repair_sweeps
+        self.seed = seed
+        self._advertisers: list[Advertiser] = []
+        self._allocation: Allocation | None = None
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def advertisers(self) -> tuple[Advertiser, ...]:
+        return tuple(self._advertisers)
+
+    @property
+    def allocation(self) -> Allocation | None:
+        """The current plan (``None`` until the first acceptance)."""
+        return self._allocation
+
+    def total_regret(self) -> float:
+        return self._allocation.total_regret() if self._allocation else 0.0
+
+    def instance(self) -> MROAMInstance:
+        """The MROAM instance of the current book."""
+        if not self._advertisers:
+            raise ValueError("the proposal book is empty")
+        return MROAMInstance(self.coverage, self._advertisers, gamma=self.gamma)
+
+    # ------------------------------------------------------------- operations
+
+    def _extended(self, demand: int, payment: float, name: str):
+        """Instance + carried-over allocation with the new proposal appended."""
+        newcomer = Advertiser(len(self._advertisers), demand, payment, name=name)
+        instance = MROAMInstance(
+            self.coverage, [*self._advertisers, newcomer], gamma=self.gamma
+        )
+        allocation = Allocation(instance)
+        if self._allocation is not None:
+            for advertiser_id in range(len(self._advertisers)):
+                for billboard_id in self._allocation.billboards_of(advertiser_id):
+                    allocation.assign(billboard_id, advertiser_id)
+        return newcomer, instance, allocation
+
+    def _repair(self, allocation: Allocation, newcomer_id: int) -> Allocation:
+        """Serve the newcomer from the free pool, then bounded local search."""
+        synchronous_greedy(allocation, active={newcomer_id})
+        if self.repair_sweeps:
+            allocation = billboard_driven_local_search(
+                allocation, max_sweeps=self.repair_sweeps
+            )
+        return allocation
+
+    def quote(self, demand: int, payment: float, name: str = "") -> Quote:
+        """Price a proposal without changing the host's state."""
+        newcomer, _, allocation = self._extended(demand, payment, name)
+        before = self.total_regret()
+        repaired = self._repair(allocation, newcomer.advertiser_id)
+        return Quote(
+            advertiser_name=name,
+            demand=demand,
+            payment=payment,
+            regret_before=before,
+            regret_after=repaired.total_regret(),
+            would_satisfy=repaired.is_satisfied(newcomer.advertiser_id),
+        )
+
+    def accept(self, demand: int, payment: float, name: str = "") -> Quote:
+        """Commit a proposal: extend the book and adopt the repaired plan."""
+        newcomer, _, allocation = self._extended(demand, payment, name)
+        before = self.total_regret()
+        repaired = self._repair(allocation, newcomer.advertiser_id)
+        self._advertisers.append(newcomer)
+        self._allocation = repaired
+        return Quote(
+            advertiser_name=name,
+            demand=demand,
+            payment=payment,
+            regret_before=before,
+            regret_after=repaired.total_regret(),
+            would_satisfy=repaired.is_satisfied(newcomer.advertiser_id),
+        )
+
+    def reoptimize(self, restarts: int = 3) -> float:
+        """Full randomized local search over the whole book (e.g. nightly).
+
+        Returns the new total regret.  Keeps the better of the incumbent and
+        the freshly searched plan.
+        """
+        if not self._advertisers:
+            return 0.0
+        result = RandomizedLocalSearch(
+            neighborhood="bls", restarts=restarts, seed=self.seed
+        ).solve(self.instance())
+        if self._allocation is None or result.total_regret < self.total_regret():
+            self._allocation = result.allocation
+        return self.total_regret()

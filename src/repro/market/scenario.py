@@ -1,0 +1,69 @@
+"""Scenario: one fully specified experiment cell.
+
+A scenario fixes the dataset, corpus scale, and the four paper parameters
+(α, p(Ī^A), γ, λ) plus a seed, and can build the corresponding
+:class:`~repro.core.problem.MROAMInstance`.  Passing an existing
+:class:`~repro.datasets.synthetic.CityDataset` lets a sweep reuse one city
+(and its cached coverage indices) across many cells, which is how the
+harness keeps parameter sweeps fast and comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.problem import MROAMInstance
+from repro.datasets import generate_city
+from repro.datasets.synthetic import CityDataset
+from repro.market.demand import generate_advertisers
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment cell (defaults = the paper's bold Table 6 values)."""
+
+    dataset: str = "nyc"
+    n_billboards: int | None = None  # None = dataset default
+    n_trajectories: int | None = None
+    alpha: float = 1.0
+    p_avg: float = 0.05
+    gamma: float = 0.5
+    lambda_m: float = 100.0
+    seed: int = 0
+
+    def with_params(self, **overrides) -> "Scenario":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+    def build_city(self) -> CityDataset:
+        """Generate the city for this scenario's dataset and scale."""
+        kwargs: dict = {"seed": self.seed}
+        if self.n_billboards is not None:
+            kwargs["n_billboards"] = self.n_billboards
+        if self.n_trajectories is not None:
+            kwargs["n_trajectories"] = self.n_trajectories
+        return generate_city(self.dataset, **kwargs)
+
+    def build_instance(self, city: CityDataset | None = None) -> MROAMInstance:
+        """Build the MROAM instance for this cell.
+
+        Parameters
+        ----------
+        city:
+            Optional pre-generated city to reuse (must match ``dataset``);
+            when omitted a fresh one is generated from the scenario seed.
+        """
+        if city is None:
+            city = self.build_city()
+        coverage = city.coverage(self.lambda_m)
+        # Derive the advertiser RNG from the scenario seed plus the market
+        # knobs so different cells draw different contracts but the same cell
+        # is reproducible.
+        advertiser_seed = as_generator(
+            (self.seed, int(self.alpha * 1000), int(self.p_avg * 10_000), int(self.lambda_m))
+        )
+        advertisers = generate_advertisers(
+            coverage.supply, self.alpha, self.p_avg, seed=advertiser_seed
+        )
+        return MROAMInstance(coverage, advertisers, gamma=self.gamma)

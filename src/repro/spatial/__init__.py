@@ -1,0 +1,28 @@
+"""Spatial substrate: geometry primitives, bounding boxes, and a grid index.
+
+The paper's influence model is geometric: a billboard influences a trajectory
+iff some trajectory point lies within ``λ`` metres of the billboard.  This
+subpackage provides the planar geometry (we work in a local metric projection,
+so Euclidean distance is in metres) and the fixed-radius neighbour queries the
+coverage computation needs.
+"""
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import (
+    Point,
+    distance,
+    interpolate_path,
+    pairwise_distances,
+    path_length,
+)
+from repro.spatial.grid import GridIndex
+
+__all__ = [
+    "BoundingBox",
+    "GridIndex",
+    "Point",
+    "distance",
+    "interpolate_path",
+    "pairwise_distances",
+    "path_length",
+]

@@ -1,0 +1,126 @@
+"""Planar geometry primitives.
+
+Coordinates are in metres in a local projection.  ``Point`` is an immutable
+value type; bulk operations take ``(n, 2)`` float arrays to stay fast for the
+millions-of-points scale of the trajectory datasets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A planar point in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=np.float64)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return a.distance_to(b)
+
+
+def pairwise_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Distance matrix between ``points`` ``(n, 2)`` and ``centers`` ``(m, 2)``.
+
+    Returns an ``(n, m)`` array.  Intended for small/medium inputs (tests and
+    brute-force oracles); the grid index handles the large radius joins.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    diff = points[:, None, :] - centers[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=2))
+
+
+def point_to_segment_distance(
+    point: np.ndarray, start: np.ndarray, end: np.ndarray
+) -> float:
+    """Euclidean distance from ``point`` to the segment ``start→end``."""
+    point = np.asarray(point, dtype=np.float64)
+    start = np.asarray(start, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    direction = end - start
+    squared = float(direction @ direction)
+    if squared == 0.0:
+        return float(np.linalg.norm(point - start))
+    t = float(np.clip((point - start) @ direction / squared, 0.0, 1.0))
+    return float(np.linalg.norm(point - (start + t * direction)))
+
+
+def min_distance_to_polyline(point: np.ndarray, polyline: np.ndarray) -> float:
+    """Minimum distance from ``point`` to a polyline's segments (vectorized).
+
+    For a single-point polyline this is the plain point distance.  This is
+    the exact geometric "meet" test the segment-accurate coverage mode uses:
+    a trajectory passes a billboard if its *path* comes within λ, even when
+    no recorded sample does.
+    """
+    point = np.asarray(point, dtype=np.float64)
+    polyline = np.asarray(polyline, dtype=np.float64)
+    if len(polyline) == 0:
+        raise ValueError("polyline must contain at least one point")
+    if len(polyline) == 1:
+        return float(np.linalg.norm(point - polyline[0]))
+
+    starts = polyline[:-1]
+    directions = polyline[1:] - starts
+    squared = np.einsum("ij,ij->i", directions, directions)
+    safe = np.where(squared == 0.0, 1.0, squared)
+    t = np.clip(np.einsum("ij,ij->i", point - starts, directions) / safe, 0.0, 1.0)
+    t = np.where(squared == 0.0, 0.0, t)
+    closest = starts + t[:, None] * directions
+    return float(np.sqrt(np.min(np.sum((closest - point) ** 2, axis=1))))
+
+
+def path_length(points: np.ndarray) -> float:
+    """Total polyline length of an ``(n, 2)`` array of waypoints, in metres."""
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) < 2:
+        return 0.0
+    deltas = np.diff(points, axis=0)
+    return float(np.sum(np.sqrt(np.sum(deltas * deltas, axis=1))))
+
+
+def interpolate_path(waypoints: np.ndarray, spacing: float) -> np.ndarray:
+    """Resample a polyline so consecutive samples are ~``spacing`` metres apart.
+
+    The first and last waypoints are always included.  This turns sparse
+    route waypoints into the dense GPS-ping-like point sequences the influence
+    model expects (a trajectory "meets" a billboard through its sample points).
+    """
+    waypoints = np.asarray(waypoints, dtype=np.float64)
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    if len(waypoints) == 0:
+        return waypoints.reshape(0, 2)
+    if len(waypoints) == 1:
+        return waypoints.copy()
+
+    segments = np.diff(waypoints, axis=0)
+    seg_lengths = np.sqrt(np.sum(segments * segments, axis=1))
+    cumulative = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+    total = cumulative[-1]
+    if total == 0.0:
+        return waypoints[:1].copy()
+
+    n_samples = max(int(math.ceil(total / spacing)) + 1, 2)
+    targets = np.linspace(0.0, total, n_samples)
+    xs = np.interp(targets, cumulative, waypoints[:, 0])
+    ys = np.interp(targets, cumulative, waypoints[:, 1])
+    return np.column_stack([xs, ys])

@@ -1,0 +1,108 @@
+"""A uniform grid index for fixed-radius neighbour queries.
+
+The coverage computation joins millions of trajectory points against
+thousands of billboard locations within a radius ``λ``.  A uniform grid with
+cell size equal to the query radius gives the classic 3×3-cell candidate
+neighbourhood, which is both simple and fast for the near-uniform point
+densities of city-scale data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GridIndex:
+    """A uniform grid over a static set of 2-D points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` float array of indexed points (e.g. billboard locations).
+    cell_size:
+        Grid cell edge length in metres.  For radius-``r`` queries a cell
+        size of ``r`` limits candidates to the 3×3 neighbourhood of the query
+        point's cell.
+    """
+
+    def __init__(self, points: np.ndarray, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {points.shape}")
+
+        self.points = points
+        self.cell_size = float(cell_size)
+        if len(points) == 0:
+            self._origin = np.zeros(2)
+            self._cells: dict[tuple[int, int], np.ndarray] = {}
+            return
+
+        self._origin = points.min(axis=0)
+        cols = np.floor((points - self._origin) / self.cell_size).astype(np.int64)
+        self._cells = {}
+        order = np.lexsort((cols[:, 1], cols[:, 0]))
+        sorted_cols = cols[order]
+        boundaries = np.nonzero(np.any(np.diff(sorted_cols, axis=0) != 0, axis=1))[0] + 1
+        for chunk in np.split(order, boundaries):
+            key = (int(cols[chunk[0], 0]), int(cols[chunk[0], 1]))
+            self._cells[key] = chunk
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (
+            int(np.floor((x - self._origin[0]) / self.cell_size)),
+            int(np.floor((y - self._origin[1]) / self.cell_size)),
+        )
+
+    def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Indices of indexed points within ``radius`` of ``(x, y)``.
+
+        Returns a sorted ``int64`` array of point indices.
+        """
+        candidates = self._candidates(x, y, radius)
+        if len(candidates) == 0:
+            return candidates
+        diff = self.points[candidates] - np.array([x, y])
+        mask = np.sum(diff * diff, axis=1) <= radius * radius
+        return np.sort(candidates[mask])
+
+    def query_radius_bulk(self, queries: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of indexed points within ``radius`` of *any* query point.
+
+        ``queries`` is ``(m, 2)``.  Returns a sorted, deduplicated ``int64``
+        array — exactly the "set of billboards met by this trajectory" the
+        influence model needs.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        hits: list[np.ndarray] = []
+        for x, y in queries:
+            candidates = self._candidates(float(x), float(y), radius)
+            if len(candidates) == 0:
+                continue
+            diff = self.points[candidates] - np.array([x, y])
+            mask = np.sum(diff * diff, axis=1) <= radius * radius
+            if mask.any():
+                hits.append(candidates[mask])
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(hits))
+
+    def _candidates(self, x: float, y: float, radius: float) -> np.ndarray:
+        """All indexed points in cells overlapping the query disc."""
+        if not self._cells:
+            return np.empty(0, dtype=np.int64)
+        reach = max(int(np.ceil(radius / self.cell_size)), 1)
+        cx, cy = self._cell_of(x, y)
+        buckets = [
+            self._cells[key]
+            for dx in range(-reach, reach + 1)
+            for dy in range(-reach, reach + 1)
+            if (key := (cx + dx, cy + dy)) in self._cells
+        ]
+        if not buckets:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(buckets)

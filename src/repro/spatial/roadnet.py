@@ -1,0 +1,125 @@
+"""A light road-network substrate for realistic trip routing.
+
+The default NYC generator routes trips along L-shaped Manhattan paths; this
+module provides the next level of realism: an explicit street graph with
+shortest-path routing (networkx), so trips bend around the network the way
+probe-vehicle trajectories do.  Plug its :meth:`RoadNetwork.router` into
+:func:`repro.trajectory.generators.trips_between`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    import networkx as nx
+except ImportError as error:  # pragma: no cover - networkx ships in the env
+    raise ImportError("repro.spatial.roadnet requires networkx") from error
+
+from repro.spatial.grid import GridIndex
+from repro.utils.rng import as_generator
+
+
+class RoadNetwork:
+    """A planar street graph with shortest-path routing.
+
+    Nodes are intersections with positions in metres; edges carry their
+    Euclidean ``length`` as the routing weight.
+    """
+
+    def __init__(self, graph: "nx.Graph", positions: np.ndarray) -> None:
+        if graph.number_of_nodes() != len(positions):
+            raise ValueError(
+                f"graph has {graph.number_of_nodes()} nodes but "
+                f"{len(positions)} positions were given"
+            )
+        if graph.number_of_nodes() == 0:
+            raise ValueError("a road network needs at least one intersection")
+        if not nx.is_connected(graph):
+            raise ValueError("the street graph must be connected")
+        self.graph = graph
+        self.positions = np.asarray(positions, dtype=np.float64)
+        # Snap queries use a grid over intersections; cell ≈ median edge len.
+        lengths = [data["length"] for _, _, data in graph.edges(data=True)]
+        cell = float(np.median(lengths)) if lengths else 100.0
+        self._snap_index = GridIndex(self.positions, cell_size=max(cell, 1.0))
+
+    @classmethod
+    def grid(
+        cls,
+        cols: int,
+        rows: int,
+        spacing: float = 250.0,
+        drop_fraction: float = 0.0,
+        seed=None,
+    ) -> "RoadNetwork":
+        """A ``cols × rows`` Manhattan street grid.
+
+        ``drop_fraction`` randomly removes that share of street segments
+        (keeping the graph connected) to mimic parks, rivers and one-way
+        detours.
+        """
+        if cols < 2 or rows < 2:
+            raise ValueError("grid needs at least 2x2 intersections")
+        if not 0.0 <= drop_fraction < 1.0:
+            raise ValueError(f"drop_fraction must be in [0, 1), got {drop_fraction}")
+
+        graph = nx.Graph()
+        positions = np.array(
+            [[c * spacing, r * spacing] for r in range(rows) for c in range(cols)]
+        )
+        node_of = lambda c, r: r * cols + c  # noqa: E731 - tiny local helper
+        graph.add_nodes_from(range(cols * rows))
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    graph.add_edge(node_of(c, r), node_of(c + 1, r), length=spacing)
+                if r + 1 < rows:
+                    graph.add_edge(node_of(c, r), node_of(c, r + 1), length=spacing)
+
+        if drop_fraction > 0.0:
+            rng = as_generator(seed)
+            edges = list(graph.edges())
+            rng.shuffle(edges)
+            to_drop = int(drop_fraction * len(edges))
+            for edge in edges[:to_drop]:
+                graph.remove_edge(*edge)
+                if not nx.is_connected(graph):
+                    graph.add_edge(*edge, length=spacing)  # keep connectivity
+        return cls(graph, positions)
+
+    def nearest_node(self, point: np.ndarray) -> int:
+        """Index of the intersection nearest to ``point``."""
+        point = np.asarray(point, dtype=np.float64)
+        radius = self._snap_index.cell_size
+        while True:
+            hits = self._snap_index.query_radius(float(point[0]), float(point[1]), radius)
+            if len(hits):
+                distances = np.linalg.norm(self.positions[hits] - point, axis=1)
+                return int(hits[int(np.argmin(distances))])
+            radius *= 2.0
+
+    def route(self, origin: np.ndarray, destination: np.ndarray) -> np.ndarray:
+        """Shortest-path waypoints from ``origin`` to ``destination``.
+
+        Endpoints are snapped to their nearest intersections; the returned
+        polyline starts at the raw origin and ends at the raw destination
+        (the off-network stubs a real trip has).
+        """
+        origin = np.asarray(origin, dtype=np.float64)
+        destination = np.asarray(destination, dtype=np.float64)
+        source = self.nearest_node(origin)
+        target = self.nearest_node(destination)
+        path = nx.shortest_path(self.graph, source, target, weight="length")
+        waypoints = [origin] + [self.positions[node] for node in path] + [destination]
+        return np.vstack(waypoints)
+
+    def router(self):
+        """Adapter for :func:`repro.trajectory.generators.trips_between`."""
+        return self.route
+
+    def total_street_length(self) -> float:
+        """Sum of all street-segment lengths, metres."""
+        return float(
+            sum(data["length"] for _, _, data in self.graph.edges(data=True))
+        )

@@ -1,0 +1,39 @@
+"""Theory companion modules (paper Sections 4 and 6.3).
+
+* :mod:`repro.theory.n3dm` — the numerical 3-dimensional matching problem
+  used as the hardness source, with a brute-force decision oracle.
+* :mod:`repro.theory.hardness` — the paper's polynomial reduction
+  N3DM → MROAM (zero regret achievable iff a matching exists).
+* :mod:`repro.theory.duality` — the dual objective machinery: Definition 6.1
+  approximate local maxima and the Lemma 6.1 / Theorem 2 bound ``ρ``.
+* :mod:`repro.theory.properties` — executable Example 2: the regret
+  objective is neither monotone nor submodular.
+"""
+
+from repro.theory.duality import (
+    approximation_bound,
+    is_approximate_local_maximum,
+    max_influence_ratio,
+)
+from repro.theory.hardness import matching_to_allocation, reduce_n3dm_to_mroam
+from repro.theory.n3dm import N3DMInstance, find_matching, random_instance, yes_instance
+from repro.theory.properties import (
+    example2_instance,
+    find_monotonicity_violation,
+    find_submodularity_violation,
+)
+
+__all__ = [
+    "N3DMInstance",
+    "approximation_bound",
+    "example2_instance",
+    "find_matching",
+    "find_monotonicity_violation",
+    "find_submodularity_violation",
+    "is_approximate_local_maximum",
+    "matching_to_allocation",
+    "max_influence_ratio",
+    "random_instance",
+    "reduce_n3dm_to_mroam",
+    "yes_instance",
+]

@@ -1,0 +1,79 @@
+"""Dual-objective machinery (paper Section 6.3).
+
+The rewired objective ``R'`` (Eq. 2) turns regret minimization into revenue
+maximization; ``R(S_i) = 0 ⟺ R'(S_i) = L_i``.  The billboard-driven local
+search reaches a ``(1+r)``-approximate local maximum of ``R'``
+(Definition 6.1), which Lemma 6.1 / Theorem 2 convert into the approximation
+factor
+
+    ρ = max( 1 + r·|U| , (1 − ψ)^{−|U|} )
+
+where ``ψ = max_o I({o}) / I`` is the largest single-billboard influence
+relative to the advertiser's demand.  The analysis is stated for a single
+advertiser; the helpers here follow that framing and are exercised
+empirically by the test suite against exhaustive optima.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+
+
+def max_influence_ratio(instance: MROAMInstance, advertiser_id: int) -> float:
+    """``ψ = max_o I({o}) / I_i`` for one advertiser."""
+    demand = instance.advertisers[advertiser_id].demand
+    return float(instance.coverage.individual_influences.max()) / demand
+
+
+def approximation_bound(instance: MROAMInstance, advertiser_id: int, r: float) -> float:
+    """Theorem 2's factor ``ρ`` for one advertiser.
+
+    Returns ``inf`` when ``ψ ≥ 1`` (a single billboard can satisfy the whole
+    demand, collapsing case (b) of Lemma 6.1).
+    """
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    num_billboards = instance.num_billboards
+    psi = max_influence_ratio(instance, advertiser_id)
+    linear_term = 1.0 + r * num_billboards
+    if psi >= 1.0:
+        return float("inf")
+    geometric_term = (1.0 - psi) ** (-num_billboards)
+    return max(linear_term, geometric_term)
+
+
+def _dual_of_set(instance: MROAMInstance, advertiser_id: int, billboard_set: set[int]) -> float:
+    achieved = instance.coverage.influence_of_set(billboard_set)
+    return instance.dual_of(advertiser_id, achieved)
+
+
+def is_approximate_local_maximum(
+    allocation: Allocation,
+    advertiser_id: int,
+    r: float,
+    candidate_pool: set[int] | None = None,
+) -> bool:
+    """Check Definition 6.1 for one advertiser's set ``S``.
+
+    ``S`` is a ``(1+r)``-approximate local maximum if
+    ``(1+r)·R'(S) ≥ R'(S \\ {o})`` for every ``o ∈ S`` and
+    ``(1+r)·R'(S) ≥ R'(S ∪ {o})`` for every ``o ∉ S`` (drawn from
+    ``candidate_pool``, default: all billboards).
+    """
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    instance = allocation.instance
+    current_set = set(allocation.billboards_of(advertiser_id))
+    current_dual = _dual_of_set(instance, advertiser_id, current_set)
+    threshold = (1.0 + r) * current_dual
+
+    for billboard_id in current_set:
+        if _dual_of_set(instance, advertiser_id, current_set - {billboard_id}) > threshold:
+            return False
+
+    pool = candidate_pool if candidate_pool is not None else set(range(instance.num_billboards))
+    for billboard_id in pool - current_set:
+        if _dual_of_set(instance, advertiser_id, current_set | {billboard_id}) > threshold:
+            return False
+    return True

@@ -1,0 +1,105 @@
+"""The paper's hardness reduction: N3DM → MROAM (Section 4).
+
+Construction (following steps (1)–(4) of the paper):
+
+* ``3n`` billboards split into three groups ``D1, D2, D3`` mirroring
+  ``X, Y, Z``; each billboard covers a *disjoint* block of trajectories.
+* Influence values are revised with a large constant ``c``:
+  ``D1: c + x_i``, ``D2: 3c + y_j``, ``D3: 9c + z_k``, which forces any
+  zero-regret advertiser set to contain exactly one billboard from each
+  group (the powers of ``c`` act as digits: 1 + 3 + 9 = 13 is the only way
+  to reach 13 with up to three terms from {1, 3, 9} without repetition
+  overflowing a digit, given ``c`` dominates the element values).
+* Every advertiser demands ``I_i = b + 13c`` with ``γ = 0``.
+
+Zero total regret is then achievable iff the N3DM instance has a matching,
+which proves MROAM NP-hard and NP-hard to approximate within any constant
+factor.
+"""
+
+from __future__ import annotations
+
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.theory.n3dm import N3DMInstance
+
+
+def _revised_influences(instance: N3DMInstance, c: int) -> list[int]:
+    """The 3n revised billboard influences, ordered D1 ++ D2 ++ D3."""
+    return (
+        [c + value for value in instance.x]
+        + [3 * c + value for value in instance.y]
+        + [9 * c + value for value in instance.z]
+    )
+
+
+def reduce_n3dm_to_mroam(
+    instance: N3DMInstance,
+    c: int | None = None,
+    payment: float = 1.0,
+) -> MROAMInstance:
+    """Build the MROAM instance of the reduction.
+
+    Parameters
+    ----------
+    instance:
+        The source N3DM instance.
+    c:
+        The large constant of step (4).  Defaults to a value strictly
+        dominating every element and the bound, which suffices for the
+        digit argument on finite instances.
+    payment:
+        Payment ``L_i`` of every advertiser (any positive value works; regret
+        zero ⟺ demand exactly met regardless of ``L``).
+
+    Returns
+    -------
+    An :class:`MROAMInstance` with ``γ = 0`` whose minimum regret is zero iff
+    the N3DM instance admits a matching.
+    """
+    if payment <= 0:
+        raise ValueError(f"payment must be positive, got {payment}")
+    if c is None:
+        largest = max(max(instance.x), max(instance.y), max(instance.z), instance.bound, 1)
+        c = 20 * largest
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+
+    influences = _revised_influences(instance, c)
+    coverage_lists: list[range] = []
+    cursor = 0
+    for influence in influences:
+        coverage_lists.append(range(cursor, cursor + influence))
+        cursor += influence
+    coverage = CoverageIndex.from_coverage_lists(coverage_lists, num_trajectories=cursor)
+
+    demand = instance.bound + 13 * c
+    advertisers = [
+        Advertiser(i, demand, payment, name=f"n3dm-{i}") for i in range(instance.size)
+    ]
+    return MROAMInstance(coverage, advertisers, gamma=0.0)
+
+
+def matching_to_allocation(
+    mroam: MROAMInstance,
+    matching: list[tuple[int, int, int]],
+) -> Allocation:
+    """Translate an N3DM matching into the corresponding zero-regret plan.
+
+    ``matching`` holds index triples ``(i, j, k)`` into ``X, Y, Z``; the
+    billboard layout is ``D1 = [0, n)``, ``D2 = [n, 2n)``, ``D3 = [2n, 3n)``.
+    """
+    n = mroam.num_advertisers
+    if mroam.num_billboards != 3 * n:
+        raise ValueError(
+            f"instance does not look like a reduction output: |U|={mroam.num_billboards}, "
+            f"|A|={n}"
+        )
+    allocation = Allocation(mroam)
+    for advertiser_id, (i, j, k) in enumerate(matching):
+        allocation.assign(i, advertiser_id)
+        allocation.assign(n + j, advertiser_id)
+        allocation.assign(2 * n + k, advertiser_id)
+    return allocation

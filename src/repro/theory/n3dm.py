@@ -1,0 +1,109 @@
+"""Numerical 3-dimensional matching (N3DM), the NP-complete source problem.
+
+Given three multisets of integers ``X, Y, Z`` of size ``n`` each and a bound
+``b``, decide whether they can be partitioned into ``n`` disjoint triples
+``(x, y, z)`` — one element from each multiset — with ``x + y + z = b`` for
+every triple.  A matching can exist only if ``b = (ΣX + ΣY + ΣZ)/n``.
+
+This module provides small-instance machinery for exercising the paper's
+hardness reduction: a brute-force matcher and generators for yes- and
+random instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class N3DMInstance:
+    """One N3DM decision instance."""
+
+    x: tuple[int, ...]
+    y: tuple[int, ...]
+    z: tuple[int, ...]
+    bound: int
+
+    def __post_init__(self) -> None:
+        if not len(self.x) == len(self.y) == len(self.z):
+            raise ValueError(
+                f"multisets must share a size, got {len(self.x)}, {len(self.y)}, {len(self.z)}"
+            )
+        if len(self.x) == 0:
+            raise ValueError("N3DM instances must be non-empty")
+
+    @property
+    def size(self) -> int:
+        return len(self.x)
+
+    def is_consistent(self) -> bool:
+        """Necessary condition: ``b·n = ΣX + ΣY + ΣZ``."""
+        return sum(self.x) + sum(self.y) + sum(self.z) == self.bound * self.size
+
+
+def find_matching(instance: N3DMInstance) -> list[tuple[int, int, int]] | None:
+    """Brute-force a matching; returns index triples ``(i, j, k)`` or ``None``.
+
+    Tries every permutation pair — ``O(n!²)`` — so only for small ``n``.
+    """
+    if not instance.is_consistent():
+        return None
+    n = instance.size
+    indices = range(n)
+    for y_perm in itertools.permutations(indices):
+        # Prune per-y_perm: the z choice is forced per position only as a
+        # full permutation; try all.
+        for z_perm in itertools.permutations(indices):
+            if all(
+                instance.x[i] + instance.y[y_perm[i]] + instance.z[z_perm[i]]
+                == instance.bound
+                for i in indices
+            ):
+                return [(i, y_perm[i], z_perm[i]) for i in indices]
+    return None
+
+
+def yes_instance(n: int, seed=None, value_range: tuple[int, int] = (1, 20)) -> N3DMInstance:
+    """Generate an instance guaranteed to admit a matching.
+
+    Triples are sampled first so every ``x + y + z`` equals the bound, then
+    the multisets are shuffled independently to hide the matching.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = as_generator(seed)
+    low, high = value_range
+    xs = [int(rng.integers(low, high + 1)) for _ in range(n)]
+    ys = [int(rng.integers(low, high + 1)) for _ in range(n)]
+    bound = max(x + y for x, y in zip(xs, ys)) + int(rng.integers(low, high + 1))
+    zs = [bound - x - y for x, y in zip(xs, ys)]
+    rng.shuffle(xs)
+    rng.shuffle(ys)
+    rng.shuffle(zs)
+    return N3DMInstance(tuple(xs), tuple(ys), tuple(zs), bound)
+
+
+def random_instance(n: int, seed=None, value_range: tuple[int, int] = (1, 20)) -> N3DMInstance:
+    """Generate a random instance that may or may not admit a matching.
+
+    The bound is set to the average triple sum rounded to an integer (the
+    necessary condition), so both YES and NO instances occur.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = as_generator(seed)
+    low, high = value_range
+    xs = tuple(int(rng.integers(low, high + 1)) for _ in range(n))
+    ys = tuple(int(rng.integers(low, high + 1)) for _ in range(n))
+    zs = tuple(int(rng.integers(low, high + 1)) for _ in range(n))
+    total = sum(xs) + sum(ys) + sum(zs)
+    bound = total // n
+    if bound * n != total:
+        # Nudge one z element so the necessary condition holds and the
+        # instance is at least plausible.
+        delta = bound * n - total
+        zs = zs[:-1] + (zs[-1] + delta,)
+    return N3DMInstance(xs, ys, zs, bound)

@@ -1,0 +1,139 @@
+"""Executable objective-structure analysis (paper Example 2, Section 6).
+
+The paper's key structural claim — the regret objective is *neither
+monotone nor submodular*, so plain greedy carries no guarantee — is made
+executable here:
+
+* :func:`example2_instance` reproduces the paper's Example 2 witness
+  verbatim;
+* :func:`find_monotonicity_violation` / :func:`find_submodularity_violation`
+  search a single-advertiser set function for witnesses, so tests can verify
+  both that the regret objective violates the properties and that the plain
+  coverage influence ``I(·)`` satisfies them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.problem import MROAMInstance
+
+SetFunction = Callable[[frozenset[int]], float]
+
+
+@dataclass(frozen=True)
+class MonotonicityViolation:
+    """A witness ``subset ⊆ superset`` with ``f(subset) > f(superset)``
+    (for increasing checks; the regret objective is checked as a *gain*
+    function, see callers)."""
+
+    subset: frozenset[int]
+    superset: frozenset[int]
+    value_subset: float
+    value_superset: float
+
+
+@dataclass(frozen=True)
+class SubmodularityViolation:
+    """A witness ``A ⊆ B``, ``o ∉ B`` where the marginal gain grows:
+    ``f(A ∪ o) − f(A) < f(B ∪ o) − f(B)``."""
+
+    small: frozenset[int]
+    big: frozenset[int]
+    element: int
+    gain_small: float
+    gain_big: float
+
+
+def find_monotonicity_violation(
+    function: SetFunction, ground_set: Iterable[int]
+) -> MonotonicityViolation | None:
+    """First pair ``A ⊂ A ∪ {o}`` with ``f`` decreasing, or ``None``.
+
+    Exhaustive over the powerset — only for small ground sets.
+    """
+    ground = sorted(ground_set)
+    for size in range(len(ground) + 1):
+        for subset in itertools.combinations(ground, size):
+            base = frozenset(subset)
+            value_base = function(base)
+            for element in ground:
+                if element in base:
+                    continue
+                extended = base | {element}
+                value_extended = function(extended)
+                if value_extended < value_base - 1e-12:
+                    return MonotonicityViolation(base, extended, value_base, value_extended)
+    return None
+
+
+def find_submodularity_violation(
+    function: SetFunction, ground_set: Iterable[int]
+) -> SubmodularityViolation | None:
+    """First diminishing-returns violation, or ``None`` (exhaustive)."""
+    ground = sorted(ground_set)
+    for small_size in range(len(ground)):
+        for small in itertools.combinations(ground, small_size):
+            small_set = frozenset(small)
+            for big_size in range(small_size, len(ground)):
+                for big in itertools.combinations(ground, big_size):
+                    big_set = frozenset(big)
+                    if not small_set <= big_set:
+                        continue
+                    for element in ground:
+                        if element in big_set:
+                            continue
+                        gain_small = function(small_set | {element}) - function(small_set)
+                        gain_big = function(big_set | {element}) - function(big_set)
+                        if gain_small < gain_big - 1e-12:
+                            return SubmodularityViolation(
+                                small_set, big_set, element, gain_small, gain_big
+                            )
+    return None
+
+
+def example2_instance() -> MROAMInstance:
+    """The paper's Example 2 witness instance.
+
+    One advertiser with ``I = 10, L = 10``; billboards shaped so that
+    ``S1 ⊂ S2`` with ``I(S1) = 8``, ``I(S2) = 9``, and a billboard ``o1``
+    adding one unit to either.  Layout (trajectory blocks):
+
+    * ``b0``: 8 trajectories   (S1 = {b0})
+    * ``b1``: 1 new trajectory (S2 = {b0, b1}, influence 9)
+    * ``b2``: 1 new trajectory (the example's ``o1``)
+    * ``b3``: 1 new trajectory (the follow-up ``o2`` pushing past the demand)
+    """
+    coverage = CoverageIndex.from_coverage_lists(
+        [list(range(8)), [8], [9], [10]], num_trajectories=11
+    )
+    return MROAMInstance(coverage, [Advertiser(0, 10, 10.0)], gamma=0.5)
+
+
+def regret_gain_function(instance: MROAMInstance, advertiser_id: int = 0) -> SetFunction:
+    """The single-advertiser *regret reduction* set function
+    ``g(S) = R(∅) − R(S)``.
+
+    Greedy guarantees need ``g`` monotone and submodular; the paper's point
+    is that it is neither.
+    """
+    empty_regret = instance.regret_of(advertiser_id, 0)
+
+    def gain(subset: frozenset[int]) -> float:
+        achieved = instance.coverage.influence_of_set(subset)
+        return empty_regret - instance.regret_of(advertiser_id, achieved)
+
+    return gain
+
+
+def influence_function(instance: MROAMInstance) -> SetFunction:
+    """The plain coverage influence ``I(S)`` (monotone and submodular)."""
+
+    def influence(subset: frozenset[int]) -> float:
+        return float(instance.coverage.influence_of_set(subset))
+
+    return influence

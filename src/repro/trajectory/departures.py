@@ -1,0 +1,39 @@
+"""Departure-time sampling for the digital-billboard extension.
+
+City trips are not uniform over the day: demand peaks at the morning and
+evening rush hours with a broad daytime base.  :func:`rush_hour_departures`
+samples seconds-of-day from that mixture; generators attach them to
+trajectories so the time-sliced coverage of
+:mod:`repro.billboard.digital` has realistic slot loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+SECONDS_PER_DAY = 86_400.0
+
+#: Mixture: morning rush (8:00), evening rush (18:00), daytime base.
+_RUSH_CENTERS_S = (8 * 3600.0, 18 * 3600.0)
+_RUSH_SIGMA_S = 3_600.0
+_RUSH_WEIGHTS = (0.3, 0.3)  # remainder: uniform over 06:00-23:00
+
+
+def rush_hour_departures(count: int, seed=None) -> np.ndarray:
+    """Sample ``count`` departure times (seconds-of-day, float64)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = as_generator(seed)
+    choices = rng.random(count)
+    times = np.empty(count, dtype=np.float64)
+
+    morning = choices < _RUSH_WEIGHTS[0]
+    evening = (~morning) & (choices < _RUSH_WEIGHTS[0] + _RUSH_WEIGHTS[1])
+    base = ~(morning | evening)
+
+    times[morning] = rng.normal(_RUSH_CENTERS_S[0], _RUSH_SIGMA_S, morning.sum())
+    times[evening] = rng.normal(_RUSH_CENTERS_S[1], _RUSH_SIGMA_S, evening.sum())
+    times[base] = rng.uniform(6 * 3600.0, 23 * 3600.0, base.sum())
+    return np.mod(times, SECONDS_PER_DAY)

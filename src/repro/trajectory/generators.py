@@ -1,0 +1,115 @@
+"""Generic trajectory generators.
+
+These are the low-level building blocks the city simulators compose:
+
+* :func:`waypoint_trajectories` — trips defined by sparse waypoints, densified
+  to GPS-ping-like sample sequences (taxi-style movement).
+* :func:`random_walk_trajectories` — unstructured wandering, useful for tests
+  and stress workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import interpolate_path, path_length
+from repro.trajectory.model import Trajectory, TrajectoryDB
+from repro.utils.rng import as_generator
+
+
+def waypoint_trajectories(
+    waypoint_lists: Sequence[np.ndarray],
+    sample_spacing: float = 50.0,
+    speed_mps: float = 8.0,
+    start_times: Sequence[float] | None = None,
+) -> TrajectoryDB:
+    """Densify sparse waypoint routes into a :class:`TrajectoryDB`.
+
+    Parameters
+    ----------
+    waypoint_lists:
+        One ``(k, 2)`` waypoint array per trip.
+    sample_spacing:
+        Distance between consecutive samples after densification, metres.
+    speed_mps:
+        Assumed travel speed used to derive travel times (Table 5 statistic).
+    start_times:
+        Optional departure times in seconds-of-day, one per trip (used by
+        the digital-billboard extension); defaults to all zeros.
+    """
+    if speed_mps <= 0:
+        raise ValueError(f"speed_mps must be positive, got {speed_mps}")
+    if start_times is not None and len(start_times) != len(waypoint_lists):
+        raise ValueError(
+            f"got {len(waypoint_lists)} trips but {len(start_times)} start times"
+        )
+    trajectories = []
+    for trajectory_id, waypoints in enumerate(waypoint_lists):
+        points = interpolate_path(np.asarray(waypoints, dtype=np.float64), sample_spacing)
+        travel_time = path_length(points) / speed_mps
+        start = float(start_times[trajectory_id]) if start_times is not None else 0.0
+        trajectories.append(Trajectory(trajectory_id, points, travel_time, start))
+    return TrajectoryDB(trajectories)
+
+
+def random_walk_trajectories(
+    count: int,
+    bbox: BoundingBox,
+    steps: int = 20,
+    step_length: float = 100.0,
+    speed_mps: float = 1.4,
+    seed=None,
+) -> TrajectoryDB:
+    """Uniformly seeded random walks clamped to ``bbox``.
+
+    Each walk starts at a uniform location and takes ``steps`` moves of
+    ``step_length`` metres in uniformly random directions.  Walking speed
+    defaults to a pedestrian 1.4 m/s.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    rng = as_generator(seed)
+
+    trajectories = []
+    for trajectory_id in range(count):
+        start = np.array(
+            [
+                rng.uniform(bbox.min_x, bbox.max_x),
+                rng.uniform(bbox.min_y, bbox.max_y),
+            ]
+        )
+        angles = rng.uniform(0.0, 2.0 * np.pi, size=steps)
+        deltas = step_length * np.column_stack([np.cos(angles), np.sin(angles)])
+        points = np.vstack([start, start + np.cumsum(deltas, axis=0)])
+        points[:, 0] = np.clip(points[:, 0], bbox.min_x, bbox.max_x)
+        points[:, 1] = np.clip(points[:, 1], bbox.min_y, bbox.max_y)
+        travel_time = path_length(points) / speed_mps
+        trajectories.append(Trajectory(trajectory_id, points, travel_time))
+    return TrajectoryDB(trajectories)
+
+
+def trips_between(
+    origins: np.ndarray,
+    destinations: np.ndarray,
+    router: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    sample_spacing: float = 50.0,
+    speed_mps: float = 8.0,
+) -> TrajectoryDB:
+    """Build trips from origin/destination pairs via a routing function.
+
+    ``router(origin, destination)`` returns the waypoint polyline of one trip;
+    the city simulators plug in Manhattan-style or road-network routers.
+    """
+    origins = np.asarray(origins, dtype=np.float64)
+    destinations = np.asarray(destinations, dtype=np.float64)
+    if origins.shape != destinations.shape:
+        raise ValueError(
+            f"origins {origins.shape} and destinations {destinations.shape} must match"
+        )
+    waypoint_lists = [router(o, d) for o, d in zip(origins, destinations)]
+    return waypoint_trajectories(waypoint_lists, sample_spacing, speed_mps)

@@ -1,0 +1,43 @@
+"""Corpus statistics matching Table 5 of the paper.
+
+Table 5 reports, per dataset: trajectory count ``|T|``, billboard count
+``|U|``, average trip distance, and average travel time.  :func:`summarize`
+computes the trajectory-side numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trajectory.model import TrajectoryDB
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryStats:
+    """Summary statistics of a trajectory corpus."""
+
+    count: int
+    avg_distance_m: float
+    avg_travel_time_s: float
+    avg_points: float
+
+    def as_table5_row(self, name: str, billboard_count: int) -> str:
+        """Format as one row of the paper's Table 5."""
+        return (
+            f"{name:>4} | |T|={self.count:>9,} | |U|={billboard_count:>5,} "
+            f"| AvgDistance={self.avg_distance_m / 1000.0:.1f}km "
+            f"| AvgTravelTime={self.avg_travel_time_s:.0f}s"
+        )
+
+
+def summarize(db: TrajectoryDB) -> TrajectoryStats:
+    """Compute :class:`TrajectoryStats` for a corpus."""
+    lengths = np.array([t.length for t in db])
+    return TrajectoryStats(
+        count=len(db),
+        avg_distance_m=float(lengths.mean()),
+        avg_travel_time_s=float(db.travel_times.mean()),
+        avg_points=float(db.point_counts.mean()),
+    )

@@ -1,0 +1,6 @@
+"""Shared utilities: RNG plumbing and timing helpers."""
+
+from repro.utils.rng import as_generator, spawn_children
+from repro.utils.timing import Stopwatch
+
+__all__ = ["as_generator", "spawn_children", "Stopwatch"]

@@ -1,0 +1,45 @@
+"""Wall-clock timing helpers used by the efficiency experiments."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A simple cumulative wall-clock stopwatch.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch:
+            run_solver()
+        print(watch.elapsed)
+
+    The stopwatch accumulates across multiple ``with`` blocks, which lets the
+    harness exclude setup work from an algorithm's reported runtime.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the duration of this lap."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        lap = time.perf_counter() - self._started_at
+        self.elapsed += lap
+        self._started_at = None
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,69 @@
+"""Tests for the advertiser-driven local search (Algorithm 4)."""
+
+import pytest
+
+from repro.algorithms.als import advertiser_driven_local_search
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.core.validation import validate_allocation
+from tests.conftest import make_random_instance, random_allocation
+
+
+def test_swaps_misassigned_sets():
+    # a0 (demand 2) holds the big set, a1 (demand 4) the small one: swapping
+    # whole sets fixes both.
+    coverage = CoverageIndex.from_coverage_lists(
+        [[0, 1, 2, 3], [4, 5]], num_trajectories=6
+    )
+    instance = MROAMInstance(
+        coverage, [Advertiser(0, 2, 2.0), Advertiser(1, 4, 4.0)], gamma=0.5
+    )
+    allocation = Allocation(instance)
+    allocation.assign(0, 0)  # big set to small advertiser
+    allocation.assign(1, 1)
+    before = allocation.total_regret()
+    result = advertiser_driven_local_search(allocation)
+    assert result.total_regret() < before
+    assert result.total_regret() == 0.0
+    assert result.billboards_of(0) == frozenset({1})
+    assert result.billboards_of(1) == frozenset({0})
+
+
+def test_never_worsens(tiny_instance):
+    for seed in range(5):
+        allocation = random_allocation(tiny_instance, seed)
+        before = allocation.total_regret()
+        result = advertiser_driven_local_search(allocation)
+        assert result.total_regret() <= before + 1e-9
+        validate_allocation(result)
+
+
+def test_terminates_at_local_optimum():
+    # After the search, no pairwise set exchange can improve.
+    from repro.core.moves import delta_exchange_sets
+
+    instance = make_random_instance(3, num_billboards=10, num_advertisers=4)
+    allocation = random_allocation(instance, 4)
+    result = advertiser_driven_local_search(allocation)
+    for i in range(instance.num_advertisers):
+        for j in range(i + 1, instance.num_advertisers):
+            assert delta_exchange_sets(result, i, j) >= -1e-9
+
+
+def test_stats_recorded(tiny_instance):
+    allocation = random_allocation(tiny_instance, 7)
+    stats: dict = {}
+    advertiser_driven_local_search(allocation, stats=stats)
+    assert stats["als_sweeps"] >= 1
+    assert stats["als_exchanges"] >= 0
+
+
+def test_single_advertiser_noop():
+    coverage = CoverageIndex.from_coverage_lists([[0]], num_trajectories=1)
+    instance = MROAMInstance(coverage, [Advertiser(0, 1, 1.0)])
+    allocation = Allocation(instance)
+    allocation.assign(0, 0)
+    result = advertiser_driven_local_search(allocation)
+    assert result.total_regret() == pytest.approx(0.0)

@@ -1,0 +1,63 @@
+"""Tests for the simulated-annealing extension solver."""
+
+import pytest
+
+from repro.algorithms.annealing import SimulatedAnnealingSolver
+from repro.algorithms.registry import make_solver
+from repro.core.validation import validate_allocation
+from tests.conftest import make_random_instance
+
+
+class TestConfiguration:
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError, match="steps"):
+            SimulatedAnnealingSolver(steps=0)
+
+    def test_rejects_bad_cooling(self):
+        with pytest.raises(ValueError, match="cooling"):
+            SimulatedAnnealingSolver(cooling=1.5)
+
+    def test_registry_alias(self):
+        assert isinstance(make_solver("sa", seed=0), SimulatedAnnealingSolver)
+
+
+class TestSearch:
+    def test_valid_allocation_and_stats(self):
+        instance = make_random_instance(3, num_billboards=12, num_advertisers=3)
+        result = SimulatedAnnealingSolver(steps=2_000, seed=0).solve(instance)
+        validate_allocation(result.allocation)
+        assert result.stats["sa_steps"] == 2_000
+        assert 0 <= result.stats["sa_accepted"] <= 2_000
+
+    def test_never_worse_than_greedy_start(self):
+        # SA returns the best state seen, which includes the greedy start.
+        from repro.algorithms.greedy_global import SynchronousGreedy
+
+        for seed in range(4):
+            instance = make_random_instance(seed, num_billboards=12, num_advertisers=3)
+            greedy = SynchronousGreedy().solve(instance).total_regret
+            sa = SimulatedAnnealingSolver(steps=1_500, seed=seed).solve(instance)
+            assert sa.total_regret <= greedy + 1e-9
+
+    def test_deterministic_by_seed(self):
+        instance = make_random_instance(5, num_billboards=10, num_advertisers=3)
+        first = SimulatedAnnealingSolver(steps=1_000, seed=9).solve(instance)
+        second = SimulatedAnnealingSolver(steps=1_000, seed=9).solve(instance)
+        assert first.total_regret == pytest.approx(second.total_regret)
+        assert first.allocation.assignment_map() == second.allocation.assignment_map()
+
+    def test_explicit_temperature_accepted(self):
+        instance = make_random_instance(6, num_billboards=8, num_advertisers=2)
+        result = SimulatedAnnealingSolver(
+            steps=500, initial_temperature=5.0, seed=1
+        ).solve(instance)
+        validate_allocation(result.allocation)
+
+    def test_tracked_regret_matches_recompute(self):
+        # The incremental current_regret bookkeeping must not drift: the best
+        # plan's reported regret equals a from-scratch total.
+        instance = make_random_instance(7, num_billboards=12, num_advertisers=3)
+        result = SimulatedAnnealingSolver(steps=3_000, seed=2).solve(instance)
+        assert result.total_regret == pytest.approx(
+            result.allocation.total_regret(), abs=1e-6
+        )

@@ -1,0 +1,61 @@
+"""Tests for the exact branch-and-bound oracle."""
+
+import pytest
+
+from repro.algorithms.branch_and_bound import BranchAndBoundSolver
+from repro.algorithms.exhaustive import ExhaustiveSolver
+from repro.algorithms.registry import make_solver
+from repro.core.validation import validate_allocation
+from tests.conftest import make_random_instance
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_matches_exhaustive_on_tiny_instances(seed):
+    instance = make_random_instance(
+        seed, num_billboards=7, num_trajectories=12, num_advertisers=2
+    )
+    exhaustive = ExhaustiveSolver().solve(instance)
+    bnb = BranchAndBoundSolver().solve(instance)
+    assert bnb.total_regret == pytest.approx(exhaustive.total_regret, abs=1e-9)
+    validate_allocation(bnb.allocation)
+
+
+def test_scales_past_exhaustive():
+    # 14 billboards × 4 owners = 4^14 ≈ 268M plans — far past brute force;
+    # branch and bound prunes its way through.
+    instance = make_random_instance(
+        11, num_billboards=14, num_trajectories=25, num_advertisers=3
+    )
+    result = BranchAndBoundSolver().solve(instance)
+    validate_allocation(result.allocation)
+    # The exact optimum lower-bounds every heuristic.
+    for method in ("g-order", "g-global", "bls"):
+        heuristic = make_solver(method, seed=1, restarts=2).solve(instance)
+        assert heuristic.total_regret >= result.total_regret - 1e-9
+
+
+def test_never_worse_than_greedy_warm_start():
+    instance = make_random_instance(12, num_billboards=10, num_advertisers=3)
+    greedy = make_solver("g-global").solve(instance)
+    bnb = BranchAndBoundSolver().solve(instance)
+    assert bnb.total_regret <= greedy.total_regret + 1e-9
+
+
+def test_example1_optimum(example1):
+    result = BranchAndBoundSolver().solve(example1)
+    assert result.total_regret == pytest.approx(0.0)
+    assert result.stats["nodes_visited"] > 0
+
+
+def test_node_cap_raises():
+    instance = make_random_instance(
+        13, num_billboards=14, num_trajectories=25, num_advertisers=3
+    )
+    with pytest.raises(RuntimeError, match="exceeded"):
+        BranchAndBoundSolver(max_nodes=0).solve(instance)
+
+
+def test_registry_alias():
+    from repro.algorithms.branch_and_bound import BranchAndBoundSolver as Cls
+
+    assert isinstance(make_solver("bnb"), Cls)

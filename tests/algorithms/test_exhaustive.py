@@ -1,0 +1,54 @@
+"""Tests for the exhaustive oracle solver."""
+
+import pytest
+
+from repro.algorithms.exhaustive import ExhaustiveSolver
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.problem import MROAMInstance
+from repro.core.validation import validate_allocation
+from tests.conftest import make_random_instance
+
+
+def test_finds_known_optimum():
+    coverage = CoverageIndex.from_coverage_lists([[0, 1], [2, 3]], num_trajectories=4)
+    instance = MROAMInstance(
+        coverage, [Advertiser(0, 2, 5.0), Advertiser(1, 2, 5.0)], gamma=0.5
+    )
+    result = ExhaustiveSolver().solve(instance)
+    assert result.total_regret == 0.0
+    validate_allocation(result.allocation)
+
+
+def test_example1_optimum_is_zero(example1):
+    result = ExhaustiveSolver().solve(example1)
+    assert result.total_regret == pytest.approx(0.0)
+
+
+def test_leaving_billboards_unassigned_can_be_optimal():
+    # One advertiser with demand 1 and two billboards: the optimum assigns
+    # exactly one and leaves the other free (assigning both adds excess).
+    coverage = CoverageIndex.from_coverage_lists([[0], [1]], num_trajectories=2)
+    instance = MROAMInstance(coverage, [Advertiser(0, 1, 10.0)], gamma=0.5)
+    result = ExhaustiveSolver().solve(instance)
+    assert result.total_regret == 0.0
+    assert len(result.allocation.billboards_of(0)) == 1
+
+
+def test_refuses_large_search_space():
+    instance = make_random_instance(0, num_billboards=30, num_advertisers=4)
+    with pytest.raises(ValueError, match="search space"):
+        ExhaustiveSolver(max_plans=1000).solve(instance)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+def test_heuristics_never_beat_the_oracle(seed):
+    from repro.algorithms.registry import make_solver
+
+    instance = make_random_instance(
+        seed, num_billboards=7, num_trajectories=12, num_advertisers=2
+    )
+    optimum = ExhaustiveSolver().solve(instance).total_regret
+    for method in ("g-order", "g-global", "als", "bls"):
+        result = make_solver(method, seed=seed, restarts=2).solve(instance)
+        assert result.total_regret >= optimum - 1e-9

@@ -1,0 +1,114 @@
+"""Tests for G-Global (Algorithm 2), standalone and as a subroutine."""
+
+import pytest
+
+from repro.algorithms.greedy_global import SynchronousGreedy, synchronous_greedy
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.core.validation import validate_allocation
+from tests.conftest import make_random_instance
+
+
+def disjoint_instance(num_billboards=6, per_board=2, contracts=((4, 4.0), (4, 4.0))):
+    """Billboards covering disjoint blocks of ``per_board`` trajectories."""
+    lists = [
+        range(i * per_board, (i + 1) * per_board) for i in range(num_billboards)
+    ]
+    coverage = CoverageIndex.from_coverage_lists(lists, num_billboards * per_board)
+    advertisers = [Advertiser(i, d, p) for i, (d, p) in enumerate(contracts)]
+    return MROAMInstance(coverage, advertisers, gamma=0.5)
+
+
+class TestRoundRobin:
+    def test_both_advertisers_served(self):
+        instance = disjoint_instance()
+        result = SynchronousGreedy().solve(instance)
+        assert result.satisfied_count == 2
+        assert result.total_regret == 0.0
+
+    def test_no_advertiser_monopolizes(self):
+        instance = disjoint_instance(
+            num_billboards=4, per_board=2, contracts=((4, 8.0), (4, 4.0))
+        )
+        result = SynchronousGreedy().solve(instance)
+        # Round-robin: each advertiser gets exactly the two billboards needed.
+        assert len(result.allocation.billboards_of(0)) == 2
+        assert len(result.allocation.billboards_of(1)) == 2
+
+
+class TestReleaseRule:
+    def test_releases_least_effective_when_pool_dry(self):
+        # Three billboards cannot satisfy three advertisers needing two each;
+        # the least budget-effective (a2, 0.5) is sacrificed and its billboard
+        # tops up the most budget-effective one.
+        instance = disjoint_instance(
+            num_billboards=3,
+            per_board=2,
+            contracts=((4, 8.0), (4, 6.0), (4, 2.0)),
+        )
+        result = SynchronousGreedy().solve(instance)
+        allocation = result.allocation
+        assert allocation.billboards_of(2) == frozenset()
+        assert allocation.is_satisfied(0)
+        assert len(allocation.billboards_of(1)) == 1  # partial fill remains
+
+    def test_stats_count_releases(self):
+        instance = disjoint_instance(
+            num_billboards=3,
+            per_board=2,
+            contracts=((4, 8.0), (4, 6.0), (4, 2.0)),
+        )
+        result = SynchronousGreedy().solve(instance)
+        assert result.stats["releases"] >= 1
+
+    def test_single_unsatisfied_is_not_released(self):
+        instance = disjoint_instance(
+            num_billboards=1, per_board=2, contracts=((4, 4.0),)
+        )
+        result = SynchronousGreedy().solve(instance)
+        # One unsatisfied advertiser keeps its partial fill.
+        assert result.allocation.billboards_of(0) == frozenset({0})
+
+
+class TestAsSubroutine:
+    def test_respects_initial_plan(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(4, 0)  # pre-seeded billboard stays unless released
+        synchronous_greedy(allocation)
+        assert 4 in allocation.billboards_of(0) or allocation.billboards_of(0) == frozenset()
+        validate_allocation(allocation)
+
+    def test_active_set_restricts_assignment(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        synchronous_greedy(allocation, active={0})
+        assert allocation.billboards_of(1) == frozenset()
+
+    def test_stats_accumulate(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        stats: dict = {}
+        synchronous_greedy(allocation, stats=stats)
+        assert stats["assignments"] > 0
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_valid_on_random_instances(self, seed):
+        instance = make_random_instance(seed, num_billboards=15, num_advertisers=4)
+        result = SynchronousGreedy().solve(instance)
+        validate_allocation(result.allocation)
+
+    def test_deterministic(self):
+        instance = make_random_instance(10)
+        first = SynchronousGreedy().solve(instance)
+        second = SynchronousGreedy().solve(instance)
+        assert first.allocation.assignment_map() == second.allocation.assignment_map()
+
+    def test_terminates_on_unreachable_demands(self):
+        coverage = CoverageIndex.from_coverage_lists([[0], [0]], num_trajectories=1)
+        instance = MROAMInstance(
+            coverage, [Advertiser(0, 100, 1.0), Advertiser(1, 100, 2.0)], gamma=0.5
+        )
+        result = SynchronousGreedy().solve(instance)
+        validate_allocation(result.allocation)

@@ -1,0 +1,105 @@
+"""Tests for G-Order (Algorithm 1)."""
+
+import pytest
+
+from repro.algorithms.greedy_order import BudgetEffectiveGreedy
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.problem import MROAMInstance
+from repro.core.validation import validate_allocation
+from tests.conftest import make_random_instance
+
+
+class TestOrdering:
+    def test_most_budget_effective_served_first(self):
+        # One great billboard; the high L/I advertiser must get it.
+        coverage = CoverageIndex.from_coverage_lists(
+            [[0, 1, 2, 3], [4]], num_trajectories=5
+        )
+        advertisers = [
+            Advertiser(0, demand=4, payment=4.0),  # effectiveness 1.0
+            Advertiser(1, demand=4, payment=8.0),  # effectiveness 2.0 — first
+        ]
+        instance = MROAMInstance(coverage, advertisers, gamma=0.5)
+        result = BudgetEffectiveGreedy().solve(instance)
+        assert result.allocation.billboards_of(1) == frozenset({0})
+
+    def test_tie_broken_by_id(self):
+        coverage = CoverageIndex.from_coverage_lists([[0, 1]], num_trajectories=2)
+        advertisers = [Advertiser(0, 2, 2.0), Advertiser(1, 2, 2.0)]
+        instance = MROAMInstance(coverage, advertisers)
+        result = BudgetEffectiveGreedy().solve(instance)
+        assert result.allocation.billboards_of(0) == frozenset({0})
+
+
+class TestSelectionRule:
+    def test_prefers_low_overlap_billboard(self):
+        # Holding o1 {0,1,2,3}, the marginal rule must prefer the disjoint
+        # o2 {4,5} over the fully-overlapped o0 {0,1}.
+        import numpy as np
+
+        from repro.algorithms._marginal import best_marginal_billboard
+        from repro.core.allocation import Allocation
+
+        coverage = CoverageIndex.from_coverage_lists(
+            [[0, 1], [0, 1, 2, 3], [4, 5]], num_trajectories=6
+        )
+        instance = MROAMInstance(coverage, [Advertiser(0, 6, 6.0)], gamma=0.5)
+        allocation = Allocation(instance)
+        allocation.assign(1, 0)
+        pick = best_marginal_billboard(allocation, 0, np.array([0, 2]))
+        assert pick == 2
+
+    def test_reaches_zero_regret_when_exact_cover_exists(self):
+        coverage = CoverageIndex.from_coverage_lists(
+            [[0, 1], [0, 1, 2, 3], [4, 5]], num_trajectories=6
+        )
+        instance = MROAMInstance(coverage, [Advertiser(0, 6, 6.0)], gamma=0.5)
+        result = BudgetEffectiveGreedy().solve(instance)
+        assert result.total_regret == 0.0
+
+    def test_stops_at_satisfaction(self):
+        coverage = CoverageIndex.from_coverage_lists(
+            [[0, 1, 2], [3, 4, 5]], num_trajectories=6
+        )
+        instance = MROAMInstance(coverage, [Advertiser(0, 3, 3.0)], gamma=0.5)
+        result = BudgetEffectiveGreedy().solve(instance)
+        assert len(result.allocation.billboards_of(0)) == 1
+
+    def test_zero_influence_billboards_not_consumed(self):
+        coverage = CoverageIndex.from_coverage_lists([[0], [], []], num_trajectories=1)
+        instance = MROAMInstance(coverage, [Advertiser(0, 5, 5.0)], gamma=0.5)
+        result = BudgetEffectiveGreedy().solve(instance)
+        # Demand is unreachable; the useless empty billboards must be skipped.
+        assert result.allocation.billboards_of(0) == frozenset({0})
+
+    def test_unsatisfiable_advertiser_consumes_useful_pool(self):
+        # Literal Algorithm 1: while unsatisfied and billboards remain, keep
+        # assigning — even at zero marginal gain.
+        coverage = CoverageIndex.from_coverage_lists(
+            [[0, 1], [0, 1], [0, 1]], num_trajectories=2
+        )
+        instance = MROAMInstance(
+            coverage, [Advertiser(0, 10, 10.0), Advertiser(1, 2, 1.0)], gamma=0.5
+        )
+        result = BudgetEffectiveGreedy().solve(instance)
+        # a0 (higher effectiveness) eats all three billboards; a1 starves.
+        assert result.allocation.billboards_of(0) == frozenset({0, 1, 2})
+        assert result.allocation.influence(1) == 0
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_valid_allocation_on_random_instances(self, seed):
+        instance = make_random_instance(seed, num_billboards=15, num_advertisers=4)
+        result = BudgetEffectiveGreedy().solve(instance)
+        validate_allocation(result.allocation)
+        assert result.total_regret == pytest.approx(result.allocation.total_regret())
+        assert result.runtime_s >= 0.0
+        assert result.stats["assignments"] >= 0
+
+    def test_deterministic(self):
+        instance = make_random_instance(9)
+        first = BudgetEffectiveGreedy().solve(instance)
+        second = BudgetEffectiveGreedy().solve(instance)
+        assert first.allocation.assignment_map() == second.allocation.assignment_map()

@@ -1,0 +1,82 @@
+"""Tests for the shared vectorized marginal-selection helper."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms._marginal import best_marginal_billboard, regret_values
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.core.regret import regret
+
+
+class TestRegretValues:
+    def test_matches_scalar_regret_elementwise(self):
+        achieved = np.array([0.0, 3.0, 5.0, 8.0])
+        values = regret_values(10.0, 5.0, 0.5, achieved)
+        expected = [regret(10.0, 5.0, float(v), 0.5) for v in achieved]
+        assert np.allclose(values, expected)
+
+    def test_broadcasts_over_contract_arrays(self):
+        payments = np.array([10.0, 20.0])
+        demands = np.array([5.0, 8.0])
+        achieved = np.array([6.0, 7.0])
+        values = regret_values(payments, demands, 0.5, achieved)
+        assert values[0] == pytest.approx(regret(10.0, 5.0, 6.0, 0.5))
+        assert values[1] == pytest.approx(regret(20.0, 8.0, 7.0, 0.5))
+
+
+class TestBestMarginalBillboard:
+    def make_instance(self):
+        coverage = CoverageIndex.from_coverage_lists(
+            [[0, 1], [0, 1, 2, 3], [4, 5], [], [5]], num_trajectories=6
+        )
+        return MROAMInstance(coverage, [Advertiser(0, 6, 6.0)], gamma=0.5)
+
+    def test_empty_candidates(self):
+        instance = self.make_instance()
+        allocation = Allocation(instance)
+        assert best_marginal_billboard(allocation, 0, np.array([], dtype=np.int64)) is None
+
+    def test_zero_influence_candidates_skipped(self):
+        instance = self.make_instance()
+        allocation = Allocation(instance)
+        assert best_marginal_billboard(allocation, 0, np.array([3])) is None
+
+    def test_maximizes_the_paper_ratio(self):
+        instance = self.make_instance()
+        allocation = Allocation(instance)
+        allocation.assign(1, 0)  # holds {0,1,2,3}
+        # Candidates: o0 (fully overlapped, gain 0), o2 (gain 2), o4 (gain 1,
+        # size 1 -> ratio Lγ/I · 1/1 beats o2's 2/2? both ratios equal gain/size
+        # scaled identically; gain/size: o2=1.0, o4=1.0, o0=0.0 — tie broken by id.
+        pick = best_marginal_billboard(allocation, 0, np.array([0, 2, 4]))
+        assert pick == 2
+
+    def test_ratio_against_brute_force(self):
+        # Cross-check the vectorized argmax against a literal evaluation.
+        rng = np.random.default_rng(4)
+        lists = [
+            sorted(rng.choice(15, size=int(rng.integers(1, 8)), replace=False).tolist())
+            for _ in range(8)
+        ]
+        coverage = CoverageIndex.from_coverage_lists(lists, 15)
+        instance = MROAMInstance(coverage, [Advertiser(0, 10, 12.0)], gamma=0.5)
+        allocation = Allocation(instance)
+        allocation.assign(0, 0)
+
+        candidates = np.array([b for b in range(1, 8)])
+        pick = best_marginal_billboard(allocation, 0, candidates)
+
+        def literal_ratio(billboard_id):
+            before = instance.regret_of(0, allocation.influence(0))
+            gain = allocation.influence_delta_add(0, billboard_id)
+            after = instance.regret_of(0, allocation.influence(0) + gain)
+            return (before - after) / coverage.influence_of(billboard_id)
+
+        best_literal = max(
+            (b for b in candidates if coverage.influence_of(b) > 0),
+            key=lambda b: (literal_ratio(int(b)), -int(b)),
+        )
+        assert literal_ratio(pick) == pytest.approx(literal_ratio(int(best_literal)))

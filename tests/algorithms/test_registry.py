@@ -1,0 +1,37 @@
+"""Tests for the solver registry."""
+
+import pytest
+
+from repro.algorithms.greedy_global import SynchronousGreedy
+from repro.algorithms.greedy_order import BudgetEffectiveGreedy
+from repro.algorithms.local_search import RandomizedLocalSearch
+from repro.algorithms.registry import PAPER_METHODS, make_solver
+
+
+def test_paper_methods_resolve():
+    for name in PAPER_METHODS:
+        solver = make_solver(name, seed=0)
+        assert solver.name
+
+
+def test_names_case_and_separator_insensitive():
+    assert isinstance(make_solver("G-Order"), BudgetEffectiveGreedy)
+    assert isinstance(make_solver("g_global"), SynchronousGreedy)
+
+
+def test_local_search_configuration_forwarded():
+    solver = make_solver("bls", seed=1, restarts=7)
+    assert isinstance(solver, RandomizedLocalSearch)
+    assert solver.neighborhood == "bls"
+    assert solver.restarts == 7
+
+
+def test_als_neighborhood():
+    solver = make_solver("als", seed=1)
+    assert isinstance(solver, RandomizedLocalSearch)
+    assert solver.neighborhood == "als"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown solver"):
+        make_solver("simulated-annealing")

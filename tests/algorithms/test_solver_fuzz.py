@@ -1,0 +1,60 @@
+"""Cross-solver fuzzing: every solver, random instances, full validation.
+
+Property-based end-to-end check: for any random small instance, every
+solver must return a structurally valid plan whose reported regret matches
+a recomputation, and no heuristic may beat the exact oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.branch_and_bound import BranchAndBoundSolver
+from repro.algorithms.registry import PAPER_METHODS, make_solver
+from repro.core.validation import validate_allocation
+from tests.conftest import make_random_instance
+
+ALL_METHODS = PAPER_METHODS + ("sa",)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), gamma=st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+def test_all_solvers_valid_on_random_instances(seed, gamma):
+    instance = make_random_instance(
+        seed, num_billboards=10, num_trajectories=20, num_advertisers=3, gamma=gamma
+    )
+    for method in ALL_METHODS:
+        kwargs = {"restarts": 1} if method in ("als", "bls") else {}
+        if method == "sa":
+            kwargs = {"steps": 300}
+        result = make_solver(method, seed=seed, **kwargs).solve(instance)
+        validate_allocation(result.allocation)
+        assert result.total_regret == pytest.approx(
+            result.allocation.total_regret(), abs=1e-9
+        ), method
+        assert result.total_regret >= -1e-9, method
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_oracle_dominates_all_heuristics(seed):
+    instance = make_random_instance(
+        seed, num_billboards=8, num_trajectories=14, num_advertisers=2
+    )
+    optimum = BranchAndBoundSolver().solve(instance).total_regret
+    for method in ALL_METHODS:
+        kwargs = {"restarts": 1} if method in ("als", "bls") else {}
+        if method == "sa":
+            kwargs = {"steps": 300}
+        result = make_solver(method, seed=seed, **kwargs).solve(instance)
+        assert result.total_regret >= optimum - 1e-9, method
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_dual_never_exceeds_total_payment(seed):
+    instance = make_random_instance(seed, num_billboards=10, num_advertisers=3)
+    for method in ("g-global", "bls"):
+        kwargs = {"restarts": 1} if method == "bls" else {}
+        result = make_solver(method, seed=seed, **kwargs).solve(instance)
+        assert result.allocation.total_dual() <= instance.total_payment() + 1e-9

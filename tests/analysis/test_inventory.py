@@ -1,0 +1,58 @@
+"""Tests for inventory criticality ranking."""
+
+import pytest
+
+from repro.analysis.inventory import inventory_criticality
+from repro.core.allocation import Allocation
+from repro.core.moves import delta_release
+from repro.datasets import example1_strategy2
+from tests.conftest import make_random_instance, random_allocation
+
+
+def test_only_assigned_billboards_ranked(example1):
+    allocation = example1_strategy2(example1)
+    rows = inventory_criticality(allocation)
+    assert len(rows) == 6  # all six assigned in Strategy 2
+    assert all(row.advertiser_id >= 0 for row in rows)
+
+
+def test_ranking_is_descending(example1):
+    rows = inventory_criticality(example1_strategy2(example1))
+    values = [row.regret_increase_if_lost for row in rows]
+    assert values == sorted(values, reverse=True)
+
+
+def test_top_k(example1):
+    rows = inventory_criticality(example1_strategy2(example1), top_k=2)
+    assert len(rows) == 2
+
+
+def test_matches_delta_release(example1):
+    allocation = example1_strategy2(example1)
+    for row in inventory_criticality(allocation):
+        assert row.regret_increase_if_lost == pytest.approx(
+            delta_release(allocation, row.billboard_id)
+        )
+
+
+def test_exactly_satisfied_plan_depends_on_every_billboard(example1):
+    # Strategy 2 satisfies everyone exactly, so losing any billboard with
+    # unique coverage pushes its advertiser below demand: criticality > 0.
+    rows = inventory_criticality(example1_strategy2(example1))
+    assert all(row.regret_increase_if_lost > 0 for row in rows)
+
+
+def test_unassigned_only_plan_is_empty(tiny_instance):
+    assert inventory_criticality(Allocation(tiny_instance)) == []
+
+
+def test_overserving_billboard_has_negative_criticality():
+    # A random over-filled plan usually contains at least one billboard whose
+    # loss would *reduce* regret; criticality is allowed to be negative.
+    instance = make_random_instance(3, num_billboards=10, num_advertisers=2)
+    allocation = random_allocation(instance, 4, fill=0.9)
+    rows = inventory_criticality(allocation)
+    assert rows  # something is assigned
+    assert rows[-1].regret_increase_if_lost == min(
+        row.regret_increase_if_lost for row in rows
+    )

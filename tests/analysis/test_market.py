@@ -1,0 +1,46 @@
+"""Tests for the market feasibility summary."""
+
+import pytest
+
+from repro.analysis.market import market_summary
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.problem import MROAMInstance
+
+
+def make_instance(demands, num_trajectories=10):
+    coverage = CoverageIndex.from_coverage_lists(
+        [[0, 1, 2], [3, 4], [5]], num_trajectories
+    )
+    advertisers = [Advertiser(i, d, float(d)) for i, d in enumerate(demands)]
+    return MROAMInstance(coverage, advertisers)
+
+
+def test_basic_quantities():
+    instance = make_instance([3, 3])
+    summary = market_summary(instance)
+    assert summary.supply == 6
+    assert summary.reachable_audience == 6
+    assert summary.global_demand == 6.0
+    assert summary.alpha == pytest.approx(1.0)
+    assert summary.avg_individual_demand_ratio == pytest.approx(0.5)
+    assert not summary.overdemanded
+    assert summary.unsatisfiable_advertisers == 0
+
+
+def test_overdemand_flag():
+    summary = market_summary(make_instance([5, 5]))
+    assert summary.overdemanded
+    assert "WARNING" in summary.describe()
+
+
+def test_unsatisfiable_advertiser_flag():
+    summary = market_summary(make_instance([7]))  # reachable = 6
+    assert summary.unsatisfiable_advertisers == 1
+    assert "reachable audience" in summary.describe()
+
+
+def test_describe_mentions_sizes(example1):
+    text = market_summary(example1).describe()
+    assert "|U|=6" in text
+    assert "|A|=3" in text

@@ -1,0 +1,38 @@
+"""Tests for the per-advertiser deployment report."""
+
+import pytest
+
+from repro.analysis.report import plan_report
+from repro.datasets import example1_strategy1, example1_strategy2
+
+
+def test_report_rows_match_worked_example(example1):
+    rows = plan_report(example1_strategy1(example1))
+    assert [row.name for row in rows] == ["a1", "a2", "a3"]
+
+    a1, a2, a3 = rows
+    assert a1.satisfied and a1.achieved_influence == 6 and a1.regret == pytest.approx(2.0)
+    assert a2.satisfied and a2.regret == 0.0
+    assert not a3.satisfied and a3.regret == pytest.approx(11.25)
+    assert a3.billboard_count == 4
+
+
+def test_fill_rate(example1):
+    rows = plan_report(example1_strategy1(example1))
+    assert rows[0].fill_rate == pytest.approx(6 / 5)
+    assert rows[2].fill_rate == pytest.approx(7 / 8)
+
+
+def test_collectable_revenue_uses_dual(example1):
+    rows = plan_report(example1_strategy2(example1))
+    # Zero-regret plan: every advertiser pays in full.
+    assert sum(row.collectable_revenue for row in rows) == pytest.approx(
+        example1.total_payment()
+    )
+
+
+def test_as_row_formatting(example1):
+    rows = plan_report(example1_strategy1(example1))
+    text = rows[2].as_row()
+    assert "UNSATISFIED" in text
+    assert "a3" in text

@@ -1,0 +1,33 @@
+"""Tests for the billboard cost model."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.cost import billboard_cost, cost_vector
+from repro.billboard.influence import CoverageIndex
+
+
+def test_billboard_cost_formula():
+    assert billboard_cost(100, tau=1.0) == 10
+    assert billboard_cost(100, tau=0.9) == 9
+    assert billboard_cost(5, tau=1.1) == 0  # floor
+
+
+def test_billboard_cost_validation():
+    with pytest.raises(ValueError, match="influence"):
+        billboard_cost(-1, tau=1.0)
+    with pytest.raises(ValueError, match="tau"):
+        billboard_cost(10, tau=1.5)
+
+
+def test_cost_vector_bounds_and_reproducibility():
+    index = CoverageIndex.from_coverage_lists(
+        [list(range(50)), list(range(100)), []], num_trajectories=100
+    )
+    costs = cost_vector(index, seed=3)
+    assert costs.shape == (3,)
+    assert costs[2] == 0
+    influences = index.individual_influences
+    assert np.all(costs >= np.floor(0.9 * influences / 10.0))
+    assert np.all(costs <= np.floor(1.1 * influences / 10.0))
+    assert np.array_equal(costs, cost_vector(index, seed=3))

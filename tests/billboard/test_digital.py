@@ -1,0 +1,158 @@
+"""Tests for the digital-billboard (time-slot) extension."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.digital import DigitalExpansion, TimeSlot, day_slots, expand_digital
+from repro.billboard.influence import CoverageIndex
+from repro.billboard.model import BillboardDB
+from repro.trajectory.model import Trajectory, TrajectoryDB
+
+HOUR = 3600.0
+
+
+def timed_corpus():
+    """One billboard at origin; three trips at distinct times of day."""
+    billboards = BillboardDB.from_locations(np.array([[0.0, 0.0]]))
+    trajectories = TrajectoryDB(
+        [
+            Trajectory(0, np.array([[10.0, 0.0]]), travel_time=HOUR, start_time=7 * HOUR),
+            Trajectory(1, np.array([[20.0, 0.0]]), travel_time=HOUR, start_time=13 * HOUR),
+            Trajectory(2, np.array([[5_000.0, 0.0]]), travel_time=HOUR, start_time=7 * HOUR),
+        ]
+    )
+    coverage = CoverageIndex(billboards, trajectories, lambda_m=100.0)
+    return coverage, trajectories
+
+
+class TestTimeSlot:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="slot"):
+            TimeSlot(0, 5.0, 5.0)
+        with pytest.raises(ValueError, match="slot"):
+            TimeSlot(0, -1.0, 10.0)
+
+    def test_label(self):
+        assert TimeSlot(0, 6 * HOUR, 12 * HOUR).label() == "06:00-12:00"
+
+    def test_day_slots_partition(self):
+        slots = day_slots(4)
+        assert len(slots) == 4
+        assert slots[0].start_s == 0.0
+        assert slots[-1].end_s == 86_400.0
+        for earlier, later in zip(slots, slots[1:]):
+            assert earlier.end_s == later.start_s
+
+    def test_day_slots_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            day_slots(0)
+
+
+class TestExpandDigital:
+    def test_slot_restriction(self):
+        coverage, trajectories = timed_corpus()
+        expansion = expand_digital(coverage, trajectories, slots=4)  # 6h slots
+        # Physical panel covers trips 0 and 1 (trip 2 is out of range).
+        assert coverage.covered_by(0).tolist() == [0, 1]
+        morning = expansion.virtual_id(0, 1)  # 06:00-12:00
+        afternoon = expansion.virtual_id(0, 2)  # 12:00-18:00
+        night = expansion.virtual_id(0, 0)  # 00:00-06:00
+        assert expansion.coverage.covered_by(morning).tolist() == [0]
+        assert expansion.coverage.covered_by(afternoon).tolist() == [1]
+        assert expansion.coverage.covered_by(night).tolist() == []
+
+    def test_slot_union_recovers_physical_coverage(self):
+        coverage, trajectories = timed_corpus()
+        expansion = expand_digital(coverage, trajectories, slots=6)
+        virtual_ids = [expansion.virtual_id(0, s) for s in range(6)]
+        assert expansion.coverage.influence_of_set(virtual_ids) == coverage.influence_of(0)
+
+    def test_mapping_arrays(self):
+        coverage, trajectories = timed_corpus()
+        expansion = expand_digital(coverage, trajectories, slots=3)
+        assert expansion.num_virtual == 3
+        assert expansion.physical_of.tolist() == [0, 0, 0]
+        assert expansion.slot_of.tolist() == [0, 1, 2]
+        assert "panel 0" in expansion.describe_virtual(1)
+
+    def test_trip_spanning_slot_boundary_counts_in_both(self):
+        billboards = BillboardDB.from_locations(np.array([[0.0, 0.0]]))
+        trajectories = TrajectoryDB(
+            [Trajectory(0, np.array([[0.0, 0.0]]), travel_time=2 * HOUR, start_time=11 * HOUR)]
+        )
+        coverage = CoverageIndex(billboards, trajectories, lambda_m=50.0)
+        expansion = expand_digital(coverage, trajectories, slots=2)  # 12h slots
+        assert expansion.coverage.covered_by(expansion.virtual_id(0, 0)).tolist() == [0]
+        assert expansion.coverage.covered_by(expansion.virtual_id(0, 1)).tolist() == [0]
+
+    def test_midnight_wrap(self):
+        billboards = BillboardDB.from_locations(np.array([[0.0, 0.0]]))
+        trajectories = TrajectoryDB(
+            [Trajectory(0, np.array([[0.0, 0.0]]), travel_time=2 * HOUR, start_time=23 * HOUR)]
+        )
+        coverage = CoverageIndex(billboards, trajectories, lambda_m=50.0)
+        expansion = expand_digital(coverage, trajectories, slots=day_slots(24))
+        # Active 23:00-24:00 and (wrapped) 00:00-01:00.
+        assert expansion.coverage.covered_by(expansion.virtual_id(0, 23)).tolist() == [0]
+        assert expansion.coverage.covered_by(expansion.virtual_id(0, 0)).tolist() == [0]
+        assert expansion.coverage.covered_by(expansion.virtual_id(0, 12)).tolist() == []
+
+    def test_mismatched_corpus_rejected(self):
+        coverage, _ = timed_corpus()
+        other = TrajectoryDB([Trajectory(0, np.array([[0.0, 0.0]]))])
+        with pytest.raises(ValueError, match="corpus"):
+            expand_digital(coverage, other, slots=2)
+
+    def test_virtual_id_bounds(self):
+        coverage, trajectories = timed_corpus()
+        expansion = expand_digital(coverage, trajectories, slots=2)
+        with pytest.raises(IndexError):
+            expansion.virtual_id(0, 2)
+
+    def test_slot_supply_sums_virtual_influences(self):
+        coverage, trajectories = timed_corpus()
+        expansion = expand_digital(coverage, trajectories, slots=4)
+        total = sum(expansion.slot_supply(s) for s in range(4))
+        assert total == expansion.coverage.supply
+        assert expansion.slot_supply(1) == 1  # the 07:00 trip
+        assert expansion.slot_supply(0) == 0
+
+
+class TestDigitalMROAM:
+    def test_solvers_run_on_virtual_inventory(self):
+        from repro.core.advertiser import Advertiser
+        from repro.core.problem import MROAMInstance
+        from repro.algorithms.registry import make_solver
+
+        coverage, trajectories = timed_corpus()
+        expansion = expand_digital(coverage, trajectories, slots=4)
+        instance = MROAMInstance(
+            expansion.coverage, [Advertiser(0, 1, 5.0), Advertiser(1, 1, 4.0)], gamma=0.5
+        )
+        result = make_solver("bls", seed=0, restarts=2).solve(instance)
+        # Two time-disjoint trips: both one-trajectory demands satisfiable by
+        # the same physical panel in different slots.
+        assert result.total_regret == pytest.approx(0.0)
+
+
+class TestDepartures:
+    def test_rush_hour_departures_in_range(self):
+        from repro.trajectory.departures import rush_hour_departures
+
+        times = rush_hour_departures(500, seed=1)
+        assert times.shape == (500,)
+        assert np.all((0 <= times) & (times < 86_400.0))
+
+    def test_rush_hours_are_peaks(self):
+        from repro.trajectory.departures import rush_hour_departures
+
+        times = rush_hour_departures(5_000, seed=2)
+        morning = np.sum(np.abs(times - 8 * HOUR) < HOUR)
+        midnight = np.sum(times < 2 * HOUR)
+        assert morning > 3 * max(midnight, 1)
+
+    def test_validation(self):
+        from repro.trajectory.departures import rush_hour_departures
+
+        with pytest.raises(ValueError, match="count"):
+            rush_hour_departures(-1)

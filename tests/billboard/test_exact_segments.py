@@ -1,0 +1,70 @@
+"""Tests for the segment-accurate coverage mode."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.influence import CoverageIndex
+from repro.billboard.model import BillboardDB
+from repro.trajectory.model import Trajectory, TrajectoryDB
+
+
+def sparse_pass_by():
+    """A trajectory whose *path* passes the billboard but whose samples are
+    far away: two samples 1 km apart, the straight path passing within 50 m
+    of the billboard."""
+    billboards = BillboardDB.from_locations(np.array([[500.0, 50.0]]))
+    trajectories = TrajectoryDB(
+        [Trajectory(0, np.array([[0.0, 0.0], [1_000.0, 0.0]]))]
+    )
+    return billboards, trajectories
+
+
+class TestExactSegments:
+    def test_sampled_mode_misses_between_samples(self):
+        billboards, trajectories = sparse_pass_by()
+        sampled = CoverageIndex(billboards, trajectories, lambda_m=100.0)
+        assert sampled.influence_of(0) == 0  # both samples are ~500 m away
+
+    def test_segment_mode_catches_the_pass_by(self):
+        billboards, trajectories = sparse_pass_by()
+        exact = CoverageIndex(
+            billboards, trajectories, lambda_m=100.0, exact_segments=True
+        )
+        assert exact.covered_by(0).tolist() == [0]
+
+    def test_segment_mode_respects_lambda(self):
+        billboards, trajectories = sparse_pass_by()
+        # The path's closest approach is 50 m; λ = 40 m must still miss.
+        tight = CoverageIndex(
+            billboards, trajectories, lambda_m=40.0, exact_segments=True
+        )
+        assert tight.influence_of(0) == 0
+
+    def test_segment_coverage_is_superset_of_sampled(self):
+        from repro.datasets.nyc import generate_nyc
+
+        city = generate_nyc(n_billboards=30, n_trajectories=200, seed=3)
+        sampled = CoverageIndex(city.billboards, city.trajectories, lambda_m=100.0)
+        exact = CoverageIndex(
+            city.billboards, city.trajectories, lambda_m=100.0, exact_segments=True
+        )
+        for billboard_id in range(30):
+            sampled_set = set(sampled.covered_by(billboard_id).tolist())
+            exact_set = set(exact.covered_by(billboard_id).tolist())
+            assert sampled_set <= exact_set
+
+    def test_modes_agree_when_sampling_is_dense(self):
+        # With sample spacing far below λ the two modes coincide on almost
+        # every billboard; exact mode can only add trajectories.
+        billboards = BillboardDB.from_locations(np.array([[100.0, 30.0]]))
+        points = np.column_stack([np.linspace(0.0, 200.0, 41), np.zeros(41)])  # 5 m gaps
+        trajectories = TrajectoryDB([Trajectory(0, points)])
+        sampled = CoverageIndex(billboards, trajectories, lambda_m=50.0)
+        exact = CoverageIndex(billboards, trajectories, lambda_m=50.0, exact_segments=True)
+        assert sampled.covered_by(0).tolist() == exact.covered_by(0).tolist() == [0]
+
+    def test_single_point_trajectories_supported(self):
+        billboards = BillboardDB.from_locations(np.array([[0.0, 0.0]]))
+        trajectories = TrajectoryDB([Trajectory(0, np.array([[30.0, 40.0]]))])
+        exact = CoverageIndex(billboards, trajectories, lambda_m=60.0, exact_segments=True)
+        assert exact.influence_of(0) == 1

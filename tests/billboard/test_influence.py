@@ -1,0 +1,192 @@
+"""Tests for the coverage influence model — the paper's I(S).
+
+Includes hypothesis properties: monotonicity and submodularity of the
+coverage influence, and consistency of the batch gain/loss passes with the
+per-billboard definitions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.billboard.influence import CoverageIndex
+from repro.billboard.model import BillboardDB
+from repro.trajectory.model import Trajectory, TrajectoryDB
+from repro.utils.rng import as_generator
+
+
+def geometric_index() -> CoverageIndex:
+    """Three billboards on a line, three trajectories crossing them."""
+    billboards = BillboardDB.from_locations(
+        np.array([[0.0, 0.0], [300.0, 0.0], [600.0, 0.0]])
+    )
+    trajectories = TrajectoryDB(
+        [
+            Trajectory(0, np.array([[0.0, 50.0]])),  # near o0 only
+            Trajectory(1, np.array([[0.0, 50.0], [300.0, 50.0]])),  # o0 and o1
+            Trajectory(2, np.array([[900.0, 0.0]])),  # nobody
+        ]
+    )
+    return CoverageIndex(billboards, trajectories, lambda_m=100.0)
+
+
+def random_coverage(seed: int, num_billboards: int = 8, num_trajectories: int = 20) -> CoverageIndex:
+    rng = as_generator(seed)
+    lists = []
+    for _ in range(num_billboards):
+        size = int(rng.integers(0, num_trajectories))
+        lists.append(rng.choice(num_trajectories, size=size, replace=False).tolist())
+    return CoverageIndex.from_coverage_lists(lists, num_trajectories)
+
+
+class TestGeometricCoverage:
+    def test_meet_semantics(self):
+        index = geometric_index()
+        assert index.covered_by(0).tolist() == [0, 1]
+        assert index.covered_by(1).tolist() == [1]
+        assert index.covered_by(2).tolist() == []
+
+    def test_individual_influences(self):
+        index = geometric_index()
+        assert index.individual_influences.tolist() == [2, 1, 0]
+
+    def test_influence_of_set_is_union(self):
+        index = geometric_index()
+        assert index.influence_of_set([0, 1]) == 2  # t1 shared, not double counted
+        assert index.influence_of_set([1, 2]) == 1
+        assert index.influence_of_set([]) == 0
+
+    def test_supply_double_counts_overlap(self):
+        index = geometric_index()
+        assert index.supply == 3  # 2 + 1 + 0, overlap intentionally double counted
+
+    def test_total_reachable(self):
+        index = geometric_index()
+        assert index.total_reachable() == 2  # t2 is unreachable
+
+    def test_rejects_nonpositive_lambda(self):
+        billboards = BillboardDB.from_locations(np.array([[0.0, 0.0]]))
+        trajectories = TrajectoryDB([Trajectory(0, np.array([[0.0, 0.0]]))])
+        with pytest.raises(ValueError, match="lambda"):
+            CoverageIndex(billboards, trajectories, lambda_m=0.0)
+
+    def test_lambda_exactly_on_boundary_counts(self):
+        billboards = BillboardDB.from_locations(np.array([[0.0, 0.0]]))
+        trajectories = TrajectoryDB([Trajectory(0, np.array([[100.0, 0.0]]))])
+        index = CoverageIndex(billboards, trajectories, lambda_m=100.0)
+        assert index.influence_of(0) == 1
+
+    def test_larger_lambda_covers_no_less(self):
+        billboards = BillboardDB.from_locations(np.array([[0.0, 0.0], [500.0, 0.0]]))
+        trajectories = TrajectoryDB(
+            [Trajectory(i, np.array([[float(100 * i), 30.0]])) for i in range(6)]
+        )
+        small = CoverageIndex(billboards, trajectories, lambda_m=50.0)
+        large = CoverageIndex(billboards, trajectories, lambda_m=150.0)
+        for billboard_id in range(2):
+            assert set(small.covered_by(billboard_id)) <= set(large.covered_by(billboard_id))
+
+
+class TestFromCoverageLists:
+    def test_explicit_lists(self):
+        index = CoverageIndex.from_coverage_lists([[0, 1], [1, 2], []], num_trajectories=3)
+        assert index.num_billboards == 3
+        assert index.influence_of_set([0, 1]) == 3
+
+    def test_duplicates_collapse(self):
+        index = CoverageIndex.from_coverage_lists([[0, 0, 1]], num_trajectories=2)
+        assert index.influence_of(0) == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            CoverageIndex.from_coverage_lists([[3]], num_trajectories=3)
+
+
+class TestDistributions:
+    def test_influence_distribution_descending_normalized(self):
+        index = random_coverage(1)
+        dist = index.influence_distribution()
+        assert dist[0] == pytest.approx(1.0)
+        assert np.all(np.diff(dist) <= 0)
+        assert np.all((0 <= dist) & (dist <= 1))
+
+    def test_impression_curve_monotone(self):
+        index = random_coverage(2)
+        fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+        curve = index.impression_curve(fractions)
+        assert curve[0] == 0.0
+        assert np.all(np.diff(curve) >= 0)
+        assert curve[-1] == pytest.approx(index.total_reachable() / index.num_trajectories)
+
+    def test_impression_curve_rejects_bad_fraction(self):
+        index = random_coverage(3)
+        with pytest.raises(ValueError, match="fractions"):
+            index.impression_curve([1.5])
+
+
+class TestBatchPasses:
+    def test_batch_add_gains_matches_definition(self):
+        index = random_coverage(4)
+        counts = np.zeros(index.num_trajectories, dtype=np.int32)
+        counts[index.covered_by(0)] += 1  # pretend billboard 0 is assigned
+        gains = index.batch_add_gains(counts)
+        for billboard_id in range(index.num_billboards):
+            covered = index.covered_by(billboard_id)
+            expected = int(np.count_nonzero(counts[covered] == 0))
+            assert gains[billboard_id] == expected
+
+    def test_batch_remove_losses_matches_definition(self):
+        index = random_coverage(5)
+        counts = np.zeros(index.num_trajectories, dtype=np.int32)
+        for billboard_id in (0, 1, 2):
+            counts[index.covered_by(billboard_id)] += 1
+        losses = index.batch_remove_losses(counts)
+        for billboard_id in range(index.num_billboards):
+            covered = index.covered_by(billboard_id)
+            expected = int(np.count_nonzero(counts[covered] == 1))
+            assert losses[billboard_id] == expected
+
+    def test_empty_coverage_batches(self):
+        index = CoverageIndex.from_coverage_lists([[], []], num_trajectories=3)
+        counts = np.zeros(3, dtype=np.int32)
+        assert index.batch_add_gains(counts).tolist() == [0, 0]
+        assert index.batch_remove_losses(counts).tolist() == [0, 0]
+
+
+class TestCoverageProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_influence_monotone_under_union(self, seed):
+        index = random_coverage(seed)
+        rng = as_generator(seed + 1)
+        subset = [b for b in range(index.num_billboards) if rng.random() < 0.4]
+        superset = sorted(
+            set(subset) | {int(b) for b in rng.integers(0, index.num_billboards, size=3)}
+        )
+        assert index.influence_of_set(subset) <= index.influence_of_set(superset)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_influence_submodular(self, seed):
+        # I(A ∪ {o}) − I(A) ≥ I(B ∪ {o}) − I(B) for A ⊆ B, o ∉ B.
+        index = random_coverage(seed)
+        rng = as_generator(seed + 2)
+        ids = list(range(index.num_billboards))
+        rng.shuffle(ids)
+        o = ids[0]
+        small = sorted(ids[1:3])
+        big = sorted(ids[1:6])
+        gain_small = index.influence_of_set(small + [o]) - index.influence_of_set(small)
+        gain_big = index.influence_of_set(big + [o]) - index.influence_of_set(big)
+        assert gain_small >= gain_big
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_subadditivity(self, seed):
+        index = random_coverage(seed)
+        subset = list(range(index.num_billboards))
+        union = index.influence_of_set(subset)
+        total = sum(index.influence_of(b) for b in subset)
+        assert union <= total
+        assert union <= index.num_trajectories

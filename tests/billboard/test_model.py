@@ -1,0 +1,47 @@
+"""Tests for the billboard inventory model."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.model import Billboard, BillboardDB
+from repro.spatial.geometry import Point
+
+
+class TestBillboardDB:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one billboard"):
+            BillboardDB([])
+
+    def test_rejects_non_dense_ids(self):
+        with pytest.raises(ValueError, match="dense"):
+            BillboardDB([Billboard(5, Point(0.0, 0.0))])
+
+    def test_from_locations(self):
+        db = BillboardDB.from_locations(np.array([[0.0, 0.0], [10.0, 20.0]]), ["a", "b"])
+        assert len(db) == 2
+        assert db[1].location == Point(10.0, 20.0)
+        assert db[1].label == "b"
+
+    def test_from_locations_default_labels(self):
+        db = BillboardDB.from_locations(np.array([[1.0, 2.0]]))
+        assert db[0].label == ""
+
+    def test_from_locations_label_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            BillboardDB.from_locations(np.array([[0.0, 0.0]]), ["a", "b"])
+
+    def test_getitem_bounds(self):
+        db = BillboardDB.from_locations(np.array([[0.0, 0.0]]))
+        with pytest.raises(IndexError):
+            db[1]
+
+    def test_iteration_and_locations(self):
+        db = BillboardDB.from_locations(np.array([[0.0, 0.0], [5.0, 5.0]]))
+        assert [b.billboard_id for b in db] == [0, 1]
+        assert db.locations.shape == (2, 2)
+
+    def test_bounding_box(self):
+        db = BillboardDB.from_locations(np.array([[0.0, 0.0], [10.0, 4.0]]))
+        box = db.bounding_box()
+        assert box.max_x == 10.0
+        assert box.max_y == 4.0

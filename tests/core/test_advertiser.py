@@ -1,0 +1,31 @@
+"""Tests for advertiser campaign proposals."""
+
+import pytest
+
+from repro.core.advertiser import Advertiser
+
+
+def test_budget_effectiveness():
+    advertiser = Advertiser(0, demand=5, payment=10.0)
+    assert advertiser.budget_effectiveness == pytest.approx(2.0)
+
+
+def test_rejects_nonpositive_demand():
+    with pytest.raises(ValueError, match="demand"):
+        Advertiser(0, demand=0, payment=1.0)
+
+
+def test_rejects_negative_payment():
+    with pytest.raises(ValueError, match="payment"):
+        Advertiser(0, demand=1, payment=-1.0)
+
+
+def test_zero_payment_allowed():
+    advertiser = Advertiser(0, demand=1, payment=0.0)
+    assert advertiser.budget_effectiveness == 0.0
+
+
+def test_frozen():
+    advertiser = Advertiser(0, demand=1, payment=1.0)
+    with pytest.raises(AttributeError):
+        advertiser.demand = 2

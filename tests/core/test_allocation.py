@@ -1,0 +1,226 @@
+"""Tests for the incremental allocation state.
+
+The hypothesis property test drives random move sequences and checks, after
+every step, that the incremental counters and influence scalars agree with a
+from-scratch recomputation (via :func:`validate_allocation`).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import UNASSIGNED, Allocation
+from repro.core.validation import validate_allocation
+from tests.conftest import make_random_instance
+
+
+class TestBasicMoves:
+    def test_initial_state(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        assert allocation.influence(0) == 0
+        assert allocation.influence(1) == 0
+        assert len(allocation.unassigned) == 5
+        assert allocation.owner_of(0) == UNASSIGNED
+
+    def test_assign_updates_influence(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)  # o0 covers {0,1,2}
+        assert allocation.influence(0) == 3
+        allocation.assign(1, 0)  # o1 covers {2,3}: only 3 is new
+        assert allocation.influence(0) == 4
+
+    def test_assign_twice_rejected(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        with pytest.raises(ValueError, match="already owned"):
+            allocation.assign(0, 1)
+
+    def test_release(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 0)
+        owner = allocation.release(0)
+        assert owner == 0
+        assert allocation.influence(0) == 2  # {2, 3}
+        assert 0 in allocation.unassigned
+
+    def test_release_unassigned_rejected(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        with pytest.raises(ValueError, match="not assigned"):
+            allocation.release(0)
+
+    def test_release_all(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(2, 0)
+        released = allocation.release_all(0)
+        assert released == [0, 2]
+        assert allocation.influence(0) == 0
+        assert allocation.billboards_of(0) == frozenset()
+
+    def test_move(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.move(0, 1)
+        assert allocation.owner_of(0) == 1
+        assert allocation.influence(0) == 0
+        assert allocation.influence(1) == 3
+
+    def test_satisfaction(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        assert allocation.unsatisfied_advertisers() == [0, 1]
+        allocation.assign(0, 1)  # influence 3 == demand 3
+        assert allocation.is_satisfied(1)
+        assert allocation.unsatisfied_advertisers() == [0]
+
+
+class TestExchanges:
+    def test_exchange_billboards_between_advertisers(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(2, 1)
+        allocation.exchange_billboards(0, 2)
+        assert allocation.owner_of(0) == 1
+        assert allocation.owner_of(2) == 0
+        assert allocation.influence(0) == 3  # o2 covers {3,4,5}
+        assert allocation.influence(1) == 3  # o0 covers {0,1,2}
+        validate_allocation(allocation)
+
+    def test_exchange_with_unassigned(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.exchange_billboards(0, 3)
+        assert allocation.owner_of(0) == UNASSIGNED
+        assert allocation.owner_of(3) == 0
+        assert allocation.influence(0) == 2  # o3 covers {0,5}
+        validate_allocation(allocation)
+
+    def test_exchange_same_owner_is_noop(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 0)
+        before = allocation.influence(0)
+        allocation.exchange_billboards(0, 1)
+        assert allocation.influence(0) == before
+        assert allocation.owner_of(0) == 0
+
+    def test_exchange_sets(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 0)
+        allocation.assign(2, 1)
+        influence_0, influence_1 = allocation.influence(0), allocation.influence(1)
+        allocation.exchange_sets(0, 1)
+        assert allocation.influence(0) == influence_1
+        assert allocation.influence(1) == influence_0
+        assert allocation.billboards_of(0) == frozenset({2})
+        assert allocation.billboards_of(1) == frozenset({0, 1})
+        validate_allocation(allocation)
+
+    def test_exchange_sets_self_noop(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.exchange_sets(0, 0)
+        assert allocation.owner_of(0) == 0
+
+
+class TestRegretAccounting:
+    def test_total_regret_matches_manual(self, example1):
+        from repro.datasets import example1_strategy1
+
+        allocation = example1_strategy1(example1)
+        assert allocation.total_regret() == pytest.approx(13.25)
+
+    def test_breakdown_components(self, example1):
+        from repro.datasets import example1_strategy1
+
+        breakdown = example1_strategy1(example1).breakdown()
+        assert breakdown.unsatisfied_penalty == pytest.approx(11.25)
+        assert breakdown.excessive_influence == pytest.approx(2.0)
+
+    def test_total_dual(self, example1):
+        from repro.datasets import example1_strategy2
+
+        allocation = example1_strategy2(example1)
+        # Zero regret ⇒ every advertiser pays in full under the dual.
+        assert allocation.total_dual() == pytest.approx(example1.total_payment())
+
+
+class TestDeltas:
+    def test_delta_add_matches_apply(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        predicted = allocation.influence_delta_add(0, 1)
+        before = allocation.influence(0)
+        allocation.assign(1, 0)
+        assert allocation.influence(0) == before + predicted
+
+    def test_delta_remove_matches_apply(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 0)
+        predicted = allocation.influence_delta_remove(0, 1)
+        before = allocation.influence(0)
+        allocation.release(1)
+        assert allocation.influence(0) == before - predicted
+
+
+class TestCloneAndViews:
+    def test_clone_is_independent(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        copy = allocation.clone()
+        copy.assign(1, 1)
+        assert allocation.owner_of(1) == UNASSIGNED
+        assert copy.owner_of(1) == 1
+        validate_allocation(allocation)
+        validate_allocation(copy)
+
+    def test_read_only_views(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        with pytest.raises(ValueError):
+            allocation.influences[0] = 5
+        with pytest.raises(ValueError):
+            allocation.owners[0] = 1
+        with pytest.raises(ValueError):
+            allocation.counts_row(0)[0] = 1
+
+    def test_assignment_map(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 1)
+        assert allocation.assignment_map() == {0: frozenset(), 1: frozenset({0})}
+
+    def test_repr_mentions_regret(self, tiny_instance):
+        assert "regret" in repr(Allocation(tiny_instance))
+
+
+class TestRandomMoveSequences:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        moves=st.lists(st.integers(0, 3), min_size=1, max_size=40),
+    )
+    def test_invariants_hold_under_random_moves(self, seed, moves):
+        instance = make_random_instance(seed)
+        rng = np.random.default_rng(seed)
+        allocation = Allocation(instance)
+        for move in moves:
+            if move == 0 and allocation.unassigned:  # assign
+                billboard = int(rng.choice(sorted(allocation.unassigned)))
+                allocation.assign(billboard, int(rng.integers(instance.num_advertisers)))
+            elif move == 1:  # release
+                assigned = [
+                    b
+                    for b in range(instance.num_billboards)
+                    if allocation.owner_of(b) != UNASSIGNED
+                ]
+                if assigned:
+                    allocation.release(int(rng.choice(assigned)))
+            elif move == 2:  # exchange two billboards
+                a, b = rng.integers(0, instance.num_billboards, size=2)
+                allocation.exchange_billboards(int(a), int(b))
+            else:  # exchange two advertiser sets
+                i, j = rng.integers(0, instance.num_advertisers, size=2)
+                allocation.exchange_sets(int(i), int(j))
+        validate_allocation(allocation)

@@ -1,0 +1,168 @@
+"""Tests for side-effect-free move pricing.
+
+Every delta function is checked against the ground truth: apply the move on a
+clone, recompute total regret, compare.  The hypothesis case randomizes the
+instance and the starting allocation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import UNASSIGNED, Allocation
+from repro.core.moves import (
+    delta_assign,
+    delta_exchange_billboards,
+    delta_exchange_sets,
+    delta_move,
+    delta_release,
+)
+from repro.utils.rng import as_generator
+from tests.conftest import make_random_instance, random_allocation
+
+
+def applied_regret_change(allocation: Allocation, apply) -> float:
+    before = allocation.total_regret()
+    clone = allocation.clone()
+    apply(clone)
+    return clone.total_regret() - before
+
+
+class TestDeltaAssign:
+    def test_matches_apply(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        predicted = delta_assign(allocation, 2, 1)
+        actual = applied_regret_change(allocation, lambda a: a.assign(2, 1))
+        assert predicted == pytest.approx(actual)
+
+    def test_rejects_assigned_billboard(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        with pytest.raises(ValueError, match="not unassigned"):
+            delta_assign(allocation, 0, 1)
+
+    def test_no_mutation(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        delta_assign(allocation, 0, 0)
+        assert allocation.owner_of(0) == UNASSIGNED
+
+
+class TestDeltaRelease:
+    def test_matches_apply(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 0)
+        predicted = delta_release(allocation, 1)
+        actual = applied_regret_change(allocation, lambda a: a.release(1))
+        assert predicted == pytest.approx(actual)
+
+    def test_rejects_unassigned(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        with pytest.raises(ValueError, match="not assigned"):
+            delta_release(allocation, 0)
+
+
+class TestDeltaExchangeBillboards:
+    def test_two_owners(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(2, 1)
+        predicted = delta_exchange_billboards(allocation, 0, 2)
+        actual = applied_regret_change(allocation, lambda a: a.exchange_billboards(0, 2))
+        assert predicted == pytest.approx(actual)
+
+    def test_owner_and_free(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        predicted = delta_exchange_billboards(allocation, 0, 3)
+        actual = applied_regret_change(allocation, lambda a: a.exchange_billboards(0, 3))
+        assert predicted == pytest.approx(actual)
+
+    def test_same_owner_zero(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 0)
+        assert delta_exchange_billboards(allocation, 0, 1) == 0.0
+
+    def test_both_free_zero(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        assert delta_exchange_billboards(allocation, 0, 1) == 0.0
+
+    def test_overlapping_coverage_swap_is_exact(self, tiny_instance):
+        # o0 {0,1,2} and o1 {2,3} overlap on trajectory 2; the swap delta must
+        # account for the shared trajectory exactly.
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 1)
+        predicted = delta_exchange_billboards(allocation, 0, 1)
+        actual = applied_regret_change(allocation, lambda a: a.exchange_billboards(0, 1))
+        assert predicted == pytest.approx(actual)
+
+
+class TestDeltaExchangeSets:
+    def test_matches_apply(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 0)
+        allocation.assign(2, 1)
+        predicted = delta_exchange_sets(allocation, 0, 1)
+        actual = applied_regret_change(allocation, lambda a: a.exchange_sets(0, 1))
+        assert predicted == pytest.approx(actual)
+
+    def test_self_exchange_zero(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        assert delta_exchange_sets(allocation, 0, 0) == 0.0
+
+
+class TestDeltaMove:
+    def test_from_owner_to_other(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        predicted = delta_move(allocation, 0, 1)
+        actual = applied_regret_change(allocation, lambda a: a.move(0, 1))
+        assert predicted == pytest.approx(actual)
+
+    def test_from_free(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        predicted = delta_move(allocation, 0, 1)
+        actual = applied_regret_change(allocation, lambda a: a.assign(0, 1))
+        assert predicted == pytest.approx(actual)
+
+    def test_move_to_current_owner_zero(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        assert delta_move(allocation, 0, 0) == 0.0
+
+
+class TestDeltaProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_all_deltas_match_apply_on_random_states(self, seed):
+        instance = make_random_instance(seed, num_billboards=10, num_advertisers=3)
+        allocation = random_allocation(instance, seed + 1)
+        rng = as_generator(seed + 2)
+
+        # Exchange of two random billboards.
+        a, b = rng.integers(0, instance.num_billboards, size=2)
+        predicted = delta_exchange_billboards(allocation, int(a), int(b))
+        actual = applied_regret_change(
+            allocation, lambda al: al.exchange_billboards(int(a), int(b))
+        )
+        assert predicted == pytest.approx(actual, abs=1e-9)
+
+        # Exchange of two advertiser sets.
+        i, j = rng.integers(0, instance.num_advertisers, size=2)
+        predicted = delta_exchange_sets(allocation, int(i), int(j))
+        actual = applied_regret_change(allocation, lambda al: al.exchange_sets(int(i), int(j)))
+        assert predicted == pytest.approx(actual, abs=1e-9)
+
+        # Release of a random assigned billboard, if any.
+        assigned = [
+            o for o in range(instance.num_billboards) if allocation.owner_of(o) != UNASSIGNED
+        ]
+        if assigned:
+            billboard = int(rng.choice(assigned))
+            predicted = delta_release(allocation, billboard)
+            actual = applied_regret_change(allocation, lambda al: al.release(billboard))
+            assert predicted == pytest.approx(actual, abs=1e-9)

@@ -1,0 +1,120 @@
+"""Tests for the Eq. 1 regret model and its Eq. 2 dual."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.regret import RegretBreakdown, dual_objective, regret, regret_breakdown
+
+payments = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+demands = st.floats(min_value=0.5, max_value=1e6, allow_nan=False)
+achieveds = st.floats(min_value=0.0, max_value=2e6, allow_nan=False)
+gammas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestRegret:
+    def test_exact_satisfaction_is_zero(self):
+        assert regret(payment=10.0, demand=5, achieved=5, gamma=0.5) == 0.0
+
+    def test_unsatisfied_branch(self):
+        # L(1 − γ v / I) = 20 (1 − 0.5·7/8) = 11.25 — the a3 value of Table 3.
+        assert regret(20.0, 8, 7, 0.5) == pytest.approx(11.25)
+
+    def test_excessive_branch(self):
+        # L (v − I)/I = 10 · 1/5 = 2 — the a1 value of Table 3.
+        assert regret(10.0, 5, 6, 0.5) == pytest.approx(2.0)
+
+    def test_gamma_zero_all_or_nothing(self):
+        assert regret(10.0, 5, 4, gamma=0.0) == pytest.approx(10.0)
+
+    def test_gamma_one_pro_rata(self):
+        assert regret(10.0, 5, 4, gamma=1.0) == pytest.approx(10.0 * (1 - 4 / 5))
+
+    def test_zero_achieved(self):
+        assert regret(10.0, 5, 0, gamma=0.5) == pytest.approx(10.0)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(payment=1.0, demand=0, achieved=0, gamma=0.5), "demand"),
+            (dict(payment=-1.0, demand=5, achieved=0, gamma=0.5), "payment"),
+            (dict(payment=1.0, demand=5, achieved=0, gamma=2.0), "gamma"),
+            (dict(payment=1.0, demand=5, achieved=-1, gamma=0.5), "achieved"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            regret(**kwargs)
+
+    @given(payments, demands, achieveds, gammas)
+    def test_regret_nonnegative_when_gamma_le_one(self, payment, demand, achieved, gamma):
+        assert regret(payment, demand, achieved, gamma) >= -1e-9
+
+    @given(payments, demands, gammas, st.floats(min_value=0.0, max_value=0.999))
+    def test_unsatisfied_regret_decreases_with_achievement(self, payment, demand, gamma, frac):
+        low = regret(payment, demand, frac * demand * 0.5, gamma)
+        high = regret(payment, demand, frac * demand, gamma)
+        assert high <= low + 1e-9
+
+    @given(payments, demands, st.floats(min_value=1.0, max_value=3.0))
+    def test_excessive_regret_increases_with_overshoot(self, payment, demand, factor):
+        smaller = regret(payment, demand, demand * factor, 0.5)
+        larger = regret(payment, demand, demand * (factor + 0.5), 0.5)
+        assert larger >= smaller - 1e-9
+
+
+class TestDual:
+    def test_dual_full_payment_at_exact_satisfaction(self):
+        assert dual_objective(10.0, 5, 5) == pytest.approx(10.0)
+
+    def test_dual_zero_with_no_influence(self):
+        assert dual_objective(10.0, 5, 0) == 0.0
+
+    @given(payments, demands, achieveds)
+    def test_regret_dual_identity_with_gamma_one(self, payment, demand, achieved):
+        # R(S) + R'(S) = L for any achieved influence when γ = 1.
+        total = regret(payment, demand, achieved, gamma=1.0) + dual_objective(
+            payment, demand, achieved
+        )
+        assert total == pytest.approx(payment, rel=1e-9, abs=1e-6)
+
+    @given(payments, demands, achieveds)
+    def test_zero_regret_iff_full_dual(self, payment, demand, achieved):
+        r = regret(payment, demand, achieved, gamma=1.0)
+        r_dual = dual_objective(payment, demand, achieved)
+        if payment > 0:
+            tolerance = 1e-9 * max(payment, 1.0)
+            assert (abs(r) < tolerance) == (abs(r_dual - payment) < tolerance)
+
+
+class TestBreakdown:
+    def test_unsatisfied_component(self):
+        breakdown = regret_breakdown(20.0, 8, 7, 0.5)
+        assert breakdown.unsatisfied_penalty == pytest.approx(11.25)
+        assert breakdown.excessive_influence == 0.0
+        assert breakdown.unsatisfied_share == pytest.approx(1.0)
+
+    def test_excessive_component(self):
+        breakdown = regret_breakdown(10.0, 5, 6, 0.5)
+        assert breakdown.excessive_influence == pytest.approx(2.0)
+        assert breakdown.unsatisfied_penalty == 0.0
+        assert breakdown.excessive_share == pytest.approx(1.0)
+
+    def test_addition(self):
+        total = regret_breakdown(20.0, 8, 7, 0.5) + regret_breakdown(10.0, 5, 6, 0.5)
+        assert total.total == pytest.approx(13.25)
+        assert total.unsatisfied_penalty == pytest.approx(11.25)
+        assert total.excessive_influence == pytest.approx(2.0)
+
+    def test_zero(self):
+        zero = RegretBreakdown.zero()
+        assert zero.total == 0.0
+        assert zero.unsatisfied_share == 0.0
+        assert zero.excessive_share == 0.0
+
+    @given(payments, demands, achieveds, gammas)
+    def test_components_sum_to_total(self, payment, demand, achieved, gamma):
+        breakdown = regret_breakdown(payment, demand, achieved, gamma)
+        assert breakdown.total == pytest.approx(
+            breakdown.unsatisfied_penalty + breakdown.excessive_influence
+        )

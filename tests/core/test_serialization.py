@@ -1,0 +1,67 @@
+"""Tests for deployment-plan persistence."""
+
+import pytest
+
+from repro.core.serialization import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_allocation,
+    save_allocation,
+)
+from repro.core.validation import validate_allocation
+from repro.datasets import example1_instance, example1_strategy2
+from tests.conftest import make_random_instance, random_allocation
+
+
+def test_round_trip_in_memory(example1):
+    plan = example1_strategy2(example1)
+    document = allocation_to_dict(plan)
+    restored = allocation_from_dict(document, example1)
+    assert restored.assignment_map() == plan.assignment_map()
+    assert restored.total_regret() == pytest.approx(plan.total_regret())
+    validate_allocation(restored)
+
+
+def test_round_trip_on_disk(tmp_path, example1):
+    plan = example1_strategy2(example1)
+    path = save_allocation(plan, tmp_path / "plans" / "strategy2.json")
+    restored = load_allocation(path, example1)
+    assert restored.assignment_map() == plan.assignment_map()
+
+
+def test_random_plans_round_trip(tmp_path):
+    for seed in range(4):
+        instance = make_random_instance(seed)
+        plan = random_allocation(instance, seed + 1)
+        path = save_allocation(plan, tmp_path / f"plan{seed}.json")
+        restored = load_allocation(path, instance)
+        assert restored.assignment_map() == plan.assignment_map()
+
+
+def test_fingerprint_mismatch_rejected(example1):
+    plan = example1_strategy2(example1)
+    document = allocation_to_dict(plan)
+    other = example1_instance(gamma=0.25)  # different γ
+    with pytest.raises(ValueError, match="different instance"):
+        allocation_from_dict(document, other)
+
+
+def test_unknown_version_rejected(example1):
+    document = allocation_to_dict(example1_strategy2(example1))
+    document["format_version"] = 99
+    with pytest.raises(ValueError, match="format version"):
+        allocation_from_dict(document, example1)
+
+
+def test_tampered_assignment_rejected(example1):
+    document = allocation_to_dict(example1_strategy2(example1))
+    document["assignment"]["0"] = [0]  # drops o3 from a1's set
+    with pytest.raises(ValueError, match="regret"):
+        allocation_from_dict(document, example1)
+
+
+def test_out_of_range_advertiser_rejected(example1):
+    document = allocation_to_dict(example1_strategy2(example1))
+    document["assignment"]["7"] = [0]
+    with pytest.raises(ValueError, match="out of range"):
+        allocation_from_dict(document, example1)

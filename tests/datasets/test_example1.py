@@ -1,0 +1,75 @@
+"""The Section 1 worked example must reproduce Tables 1–4 exactly."""
+
+import pytest
+
+from repro.datasets.example1 import (
+    ADVERTISER_CONTRACTS,
+    BILLBOARD_INFLUENCES,
+    example1_instance,
+    example1_strategy1,
+    example1_strategy2,
+)
+
+
+class TestTables1And2:
+    def test_billboard_influences(self, example1):
+        assert example1.coverage.individual_influences.tolist() == list(
+            BILLBOARD_INFLUENCES
+        )
+
+    def test_contracts(self, example1):
+        for advertiser, (demand, payment) in zip(
+            example1.advertisers, ADVERTISER_CONTRACTS
+        ):
+            assert advertiser.demand == demand
+            assert advertiser.payment == payment
+
+    def test_disjoint_coverage_aggregates_like_the_example(self, example1):
+        # The example sums individual influences; disjoint coverage makes the
+        # union equal to the sum.
+        assert example1.coverage.influence_of_set([0, 2]) == 5
+        assert example1.coverage.influence_of_set([1, 4, 5]) == 8
+
+
+class TestTable3Strategy1:
+    def test_satisfaction_row(self, example1):
+        allocation = example1_strategy1(example1)
+        assert allocation.is_satisfied(0)
+        assert allocation.is_satisfied(1)
+        assert not allocation.is_satisfied(2)
+
+    def test_influence_gap_row(self, example1):
+        allocation = example1_strategy1(example1)
+        gaps = [
+            allocation.influence(i) - example1.advertisers[i].demand for i in range(3)
+        ]
+        assert gaps == [1, 0, -1]
+
+    def test_regret_value(self, example1):
+        # a1: excess 1/5·10 = 2; a3: 20(1 − 0.5·7/8) = 11.25.
+        assert example1_strategy1(example1).total_regret() == pytest.approx(13.25)
+
+
+class TestTable4Strategy2:
+    def test_everyone_satisfied_exactly(self, example1):
+        allocation = example1_strategy2(example1)
+        for advertiser in example1.advertisers:
+            assert (
+                allocation.influence(advertiser.advertiser_id) == advertiser.demand
+            )
+
+    def test_zero_regret(self, example1):
+        assert example1_strategy2(example1).total_regret() == 0.0
+
+    def test_strategy2_beats_strategy1(self, example1):
+        assert (
+            example1_strategy2(example1).total_regret()
+            < example1_strategy1(example1).total_regret()
+        )
+
+
+def test_gamma_parameter_flows_through():
+    instance = example1_instance(gamma=0.0)
+    allocation = example1_strategy1(instance)
+    # With γ=0 the unsatisfied a3 forfeits the full payment: 20 + 2 = 22.
+    assert allocation.total_regret() == pytest.approx(22.0)

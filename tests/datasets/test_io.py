@@ -1,0 +1,64 @@
+"""Round-trip tests for city persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_city, save_city
+from repro.datasets.nyc import generate_nyc
+
+
+def test_round_trip(tmp_path):
+    city = generate_nyc(n_billboards=15, n_trajectories=30, seed=2)
+    directory = save_city(city, tmp_path / "nyc_small")
+    loaded = load_city(directory, name="NYC")
+
+    assert len(loaded.billboards) == len(city.billboards)
+    assert len(loaded.trajectories) == len(city.trajectories)
+    assert np.allclose(
+        loaded.billboards.locations, city.billboards.locations, atol=1e-3
+    )
+    for trajectory_id in range(len(city.trajectories)):
+        assert np.allclose(
+            loaded.trajectories.points_of(trajectory_id),
+            city.trajectories.points_of(trajectory_id),
+            atol=1e-3,
+        )
+    assert np.allclose(
+        loaded.trajectories.travel_times, city.trajectories.travel_times, atol=1e-3
+    )
+
+
+def test_round_trip_preserves_coverage(tmp_path):
+    city = generate_nyc(n_billboards=15, n_trajectories=30, seed=4)
+    loaded = load_city(save_city(city, tmp_path / "city"))
+    original = city.coverage(100.0)
+    restored = loaded.coverage(100.0)
+    for billboard_id in range(len(city.billboards)):
+        assert np.array_equal(
+            original.covered_by(billboard_id), restored.covered_by(billboard_id)
+        )
+
+
+def test_default_name_is_directory(tmp_path):
+    city = generate_nyc(n_billboards=5, n_trajectories=5, seed=0)
+    loaded = load_city(save_city(city, tmp_path / "mytown"))
+    assert loaded.name == "mytown"
+
+
+def test_labels_round_trip(tmp_path):
+    from repro.datasets.sg import generate_sg
+
+    city = generate_sg(n_billboards=40, n_trajectories=10, seed=1)
+    loaded = load_city(save_city(city, tmp_path / "sg"))
+    assert loaded.billboards[0].label == city.billboards[0].label
+
+
+def test_load_rejects_scrambled_ids(tmp_path):
+    city = generate_nyc(n_billboards=5, n_trajectories=5, seed=0)
+    directory = save_city(city, tmp_path / "bad")
+    billboard_file = directory / "billboards.csv"
+    lines = billboard_file.read_text().splitlines()
+    lines[1], lines[2] = lines[2], lines[1]
+    billboard_file.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="dense"):
+        load_city(directory)

@@ -1,0 +1,59 @@
+"""Tests for the NYC-like generator: sizes, stats, and coverage structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.nyc import generate_nyc
+from repro.trajectory.stats import summarize
+
+
+class TestBasics:
+    def test_sizes(self, small_nyc):
+        assert len(small_nyc.billboards) == 120
+        assert len(small_nyc.trajectories) == 1_500
+        assert small_nyc.name == "NYC"
+
+    def test_reproducible(self):
+        a = generate_nyc(n_billboards=40, n_trajectories=100, seed=5)
+        b = generate_nyc(n_billboards=40, n_trajectories=100, seed=5)
+        assert np.array_equal(a.billboards.locations, b.billboards.locations)
+        assert np.array_equal(a.trajectories.all_points, b.trajectories.all_points)
+
+    def test_seed_changes_city(self):
+        a = generate_nyc(n_billboards=40, n_trajectories=100, seed=1)
+        b = generate_nyc(n_billboards=40, n_trajectories=100, seed=2)
+        assert not np.array_equal(a.billboards.locations, b.billboards.locations)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_nyc(n_billboards=0)
+
+
+class TestTable5Statistics:
+    def test_trip_stats_match_paper_scale(self):
+        city = generate_nyc(n_billboards=50, n_trajectories=2_000, seed=3)
+        stats = summarize(city.trajectories)
+        # Paper Table 5: 2.9 km and 569 s; generator tolerance ±25 %.
+        assert 2_900 * 0.75 <= stats.avg_distance_m <= 2_900 * 1.25
+        assert 569 * 0.75 <= stats.avg_travel_time_s <= 569 * 1.25
+
+
+class TestCoverageStructure:
+    def test_skewed_influence_distribution(self, small_nyc):
+        # NYC's hotspot concentration ⇒ clear head/tail influence skew.
+        influences = np.sort(small_nyc.coverage(100.0).individual_influences)[::-1]
+        top_decile = influences[: max(1, len(influences) // 10)].mean()
+        bottom_half = influences[len(influences) // 2 :].mean()
+        assert top_decile > 2.0 * max(bottom_half, 1.0)
+
+    def test_overlapping_coverage(self, small_nyc):
+        coverage = small_nyc.coverage(100.0)
+        beta = coverage.supply / max(coverage.total_reachable(), 1)
+        assert beta > 1.5  # trips are seen by several billboards
+
+    def test_coverage_cached_per_lambda(self, small_nyc):
+        assert small_nyc.coverage(100.0) is small_nyc.coverage(100.0)
+        assert small_nyc.coverage(100.0) is not small_nyc.coverage(150.0)
+
+    def test_larger_lambda_increases_supply(self, small_nyc):
+        assert small_nyc.coverage(150.0).supply > small_nyc.coverage(50.0).supply

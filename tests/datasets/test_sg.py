@@ -1,0 +1,62 @@
+"""Tests for the SG-like generator: route structure and λ-insensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sg import generate_sg
+from repro.trajectory.stats import summarize
+
+
+class TestBasics:
+    def test_sizes(self, small_sg):
+        # Route building may trim a handful of stops at the boundary.
+        assert abs(len(small_sg.billboards) - 200) <= 10
+        assert len(small_sg.trajectories) == 1_500
+        assert small_sg.name == "SG"
+
+    def test_reproducible(self):
+        a = generate_sg(n_billboards=60, n_trajectories=100, seed=5)
+        b = generate_sg(n_billboards=60, n_trajectories=100, seed=5)
+        assert np.array_equal(a.billboards.locations, b.billboards.locations)
+        assert np.array_equal(a.trajectories.all_points, b.trajectories.all_points)
+
+    def test_labels_carry_route_and_stop(self, small_sg):
+        assert small_sg.billboards[0].label.startswith("route")
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_sg(n_trajectories=-1)
+
+
+class TestTable5Statistics:
+    def test_trip_stats_match_paper_scale(self):
+        city = generate_sg(n_billboards=150, n_trajectories=2_000, seed=3)
+        stats = summarize(city.trajectories)
+        # Paper Table 5: 4.2 km and 1342 s; generator tolerance ±30 %.
+        assert 4_200 * 0.7 <= stats.avg_distance_m <= 4_200 * 1.3
+        assert 1_342 * 0.7 <= stats.avg_travel_time_s <= 1_342 * 1.3
+
+
+class TestCoverageStructure:
+    def test_more_uniform_than_nyc(self, small_sg, small_nyc):
+        # Paper Fig. 1a: SG influences are more uniform.  Compare coefficients
+        # of variation.
+        sg_influences = small_sg.coverage(100.0).individual_influences.astype(float)
+        nyc_influences = small_nyc.coverage(100.0).individual_influences.astype(float)
+        sg_cv = sg_influences.std() / max(sg_influences.mean(), 1e-9)
+        nyc_cv = nyc_influences.std() / max(nyc_influences.mean(), 1e-9)
+        assert sg_cv < nyc_cv
+
+    def test_impression_curve_rises_faster_than_nyc(self, small_sg, small_nyc):
+        # Paper Fig. 1b: the SG curve dominates NYC's at every fraction.
+        fractions = [0.1, 0.2, 0.4, 0.6]
+        sg_curve = small_sg.coverage(100.0).impression_curve(fractions)
+        nyc_curve = small_nyc.coverage(100.0).impression_curve(fractions)
+        assert np.all(sg_curve >= nyc_curve)
+
+    def test_lambda_insensitive_below_stop_spacing(self, small_sg):
+        # Stops are ≈420 m apart: growing λ from 100 to 150 should barely
+        # change the supply (paper Section 7.4), unlike for NYC.
+        supply_100 = small_sg.coverage(100.0).supply
+        supply_150 = small_sg.coverage(150.0).supply
+        assert supply_150 <= supply_100 * 1.25

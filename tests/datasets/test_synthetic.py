@@ -1,0 +1,90 @@
+"""Tests for the shared city-building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_city
+from repro.datasets.synthetic import (
+    manhattan_route,
+    meandering_polyline,
+    sample_mixture,
+)
+from repro.spatial.bbox import BoundingBox
+from repro.utils.rng import as_generator
+
+BOX = BoundingBox(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+class TestSampleMixture:
+    def test_points_in_bbox(self):
+        rng = as_generator(0)
+        centers = np.array([[5_000.0, 5_000.0]])
+        points = sample_mixture(rng, centers, np.array([1.0]), np.array([500.0]), 200, BOX)
+        assert points.shape == (200, 2)
+        assert points[:, 0].min() >= BOX.min_x
+        assert points[:, 1].max() <= BOX.max_y
+
+    def test_weights_steer_components(self):
+        rng = as_generator(1)
+        centers = np.array([[1_000.0, 1_000.0], [9_000.0, 9_000.0]])
+        points = sample_mixture(
+            rng, centers, np.array([0.95, 0.05]), np.array([100.0, 100.0]), 400, BOX
+        )
+        near_first = np.sum(np.linalg.norm(points - centers[0], axis=1) < 1_000.0)
+        assert near_first > 300
+
+
+class TestManhattanRoute:
+    def test_l_shape_with_right_angle(self):
+        rng = as_generator(2)
+        route = manhattan_route(np.array([0.0, 0.0]), np.array([100.0, 200.0]), rng)
+        assert route.shape == (3, 2)
+        corner = route[1]
+        assert corner[0] in (0.0, 100.0)
+        assert corner[1] in (0.0, 200.0)
+
+    def test_length_is_manhattan_distance(self):
+        from repro.spatial.geometry import path_length
+
+        rng = as_generator(3)
+        route = manhattan_route(np.array([0.0, 0.0]), np.array([300.0, 400.0]), rng)
+        assert path_length(route) == pytest.approx(700.0)
+
+
+class TestMeanderingPolyline:
+    def test_stays_in_bbox(self):
+        rng = as_generator(4)
+        polyline = meandering_polyline(
+            rng, np.array([5_000.0, 5_000.0]), 0.0, 20_000.0, 500.0, 0.3, BOX
+        )
+        assert polyline[:, 0].min() >= BOX.min_x
+        assert polyline[:, 0].max() <= BOX.max_x
+
+    def test_total_length_scales_with_request(self):
+        from repro.spatial.geometry import path_length
+
+        rng = as_generator(5)
+        short = meandering_polyline(rng, np.array([5_000.0, 5_000.0]), 0.0, 2_000.0, 500.0, 0.1, BOX)
+        rng = as_generator(5)
+        long = meandering_polyline(rng, np.array([5_000.0, 5_000.0]), 0.0, 8_000.0, 500.0, 0.1, BOX)
+        assert path_length(long) > path_length(short)
+
+    def test_rejects_bad_lengths(self):
+        rng = as_generator(6)
+        with pytest.raises(ValueError, match="positive"):
+            meandering_polyline(rng, np.zeros(2), 0.0, -1.0, 500.0, 0.1, BOX)
+
+
+class TestGenerateCityDispatch:
+    def test_nyc_and_sg(self):
+        nyc = generate_city("nyc", n_billboards=10, n_trajectories=10, seed=0)
+        sg = generate_city("SG", n_billboards=30, n_trajectories=10, seed=0)
+        assert nyc.name == "NYC"
+        assert sg.name == "SG"
+
+    def test_unknown_city(self):
+        with pytest.raises(ValueError, match="unknown city"):
+            generate_city("tokyo")
+
+    def test_describe(self, small_nyc):
+        assert "|U|=120" in small_nyc.describe()

@@ -1,0 +1,37 @@
+"""Tests for the Table 6 parameter grid."""
+
+from repro.experiments.configs import (
+    ALPHA_VALUES,
+    BENCH_SCALE,
+    GAMMA_VALUES,
+    LAMBDA_VALUES,
+    P_AVG_VALUES,
+    default_scenario,
+)
+
+
+def test_table6_values():
+    assert ALPHA_VALUES == (0.4, 0.6, 0.8, 1.0, 1.2)
+    assert P_AVG_VALUES == (0.01, 0.02, 0.05, 0.10, 0.20)
+    assert GAMMA_VALUES == (0.0, 0.25, 0.5, 0.75, 1.0)
+    assert LAMBDA_VALUES == (50.0, 100.0, 150.0, 200.0)
+
+
+def test_default_scenario_uses_bold_defaults():
+    scenario = default_scenario("nyc")
+    assert scenario.alpha == 1.0
+    assert scenario.p_avg == 0.05
+    assert scenario.gamma == 0.5
+    assert scenario.lambda_m == 100.0
+    assert (scenario.n_billboards, scenario.n_trajectories) == BENCH_SCALE["nyc"]
+
+
+def test_default_scenario_full_scale():
+    scenario = default_scenario("sg", bench_scale=False)
+    assert scenario.n_billboards is None
+    assert scenario.n_trajectories is None
+
+
+def test_sg_has_more_billboards_than_nyc():
+    # Mirrors the paper's |U|: 4092 (SG) vs 1462 (NYC).
+    assert BENCH_SCALE["sg"][0] > BENCH_SCALE["nyc"][0]

@@ -1,0 +1,48 @@
+"""Tests for CSV export/import of sweep results."""
+
+import pytest
+
+from repro.experiments.export import SWEEP_COLUMNS, load_sweep_csv, sweep_to_csv
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.metrics import CellMetrics
+
+
+def fake_result() -> ExperimentResult:
+    result = ExperimentResult(parameter="alpha", values=[0.4, 1.0])
+    for value in result.values:
+        result.cells[value] = {
+            method: CellMetrics(
+                method=method,
+                total_regret=10.0 * value,
+                unsatisfied_penalty=6.0 * value,
+                excessive_influence=4.0 * value,
+                satisfied_advertisers=2,
+                num_advertisers=3,
+                runtime_s=0.5,
+            )
+            for method in ("g-global", "bls")
+        }
+    return result
+
+
+def test_round_trip(tmp_path):
+    path = sweep_to_csv(fake_result(), tmp_path / "sweep.csv")
+    rows = load_sweep_csv(path)
+    assert len(rows) == 4  # 2 values × 2 methods
+    first = rows[0]
+    assert first["parameter"] == "alpha"
+    assert first["value"] == 0.4
+    assert first["total_regret"] == pytest.approx(4.0)
+    assert first["satisfied_advertisers"] == 2
+    assert first["runtime_s"] == pytest.approx(0.5)
+
+
+def test_header_matches_columns(tmp_path):
+    path = sweep_to_csv(fake_result(), tmp_path / "sweep.csv")
+    header = path.read_text().splitlines()[0]
+    assert header == ",".join(SWEEP_COLUMNS)
+
+
+def test_creates_parent_directories(tmp_path):
+    path = sweep_to_csv(fake_result(), tmp_path / "nested" / "dir" / "sweep.csv")
+    assert path.exists()

@@ -1,0 +1,36 @@
+"""Tests for the figure registry."""
+
+import pytest
+
+from repro.experiments.figures import FIGURES, run_figure
+
+
+def test_registry_covers_every_paper_figure():
+    assert set(FIGURES) == {f"fig{i}" for i in range(2, 13)}
+
+
+def test_specs_are_consistent():
+    for spec in FIGURES.values():
+        assert spec.dataset in ("nyc", "sg")
+        assert spec.parameter in ("alpha", "p_avg", "gamma", "lambda_m")
+        assert len(spec.values) >= 3
+        assert spec.title.startswith("Figure")
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(ValueError, match="unknown figure"):
+        run_figure("fig99")
+
+
+def test_run_figure_small_scale():
+    # Tiny scale so this stays a unit test; the benchmark suite runs full.
+    result, table = run_figure("fig10", seed=2, restarts=0, scale=(50, 300))
+    assert result.parameter == "gamma"
+    assert "Figure 10" in table
+    assert "BLS" in table
+
+
+def test_run_figure_runtime_variant():
+    result, table = run_figure("fig8", seed=2, restarts=0, scale=(50, 300))
+    assert "runtime" in table.lower() or "s |" in table
+    assert result.parameter == "alpha"

@@ -1,0 +1,85 @@
+"""Tests for the experiment runner, on a very small city."""
+
+import pytest
+
+from repro.experiments.harness import run_cell, sweep
+from repro.market.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario(
+        dataset="nyc", n_billboards=60, n_trajectories=400, alpha=0.8, p_avg=0.1, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def city(scenario):
+    return scenario.build_city()
+
+
+class TestRunCell:
+    def test_all_methods_present(self, scenario, city):
+        metrics = run_cell(scenario, city=city, restarts=1)
+        assert set(metrics) == {"g-order", "g-global", "als", "bls"}
+        for cell in metrics.values():
+            assert cell.total_regret >= 0.0
+            assert cell.runtime_s >= 0.0
+
+    def test_method_subset(self, scenario, city):
+        metrics = run_cell(scenario, city=city, methods=["g-order"], restarts=1)
+        assert set(metrics) == {"g-order"}
+
+    def test_local_search_dominates_greedy(self, scenario, city):
+        metrics = run_cell(scenario, city=city, restarts=1)
+        assert metrics["bls"].total_regret <= metrics["g-global"].total_regret + 1e-6
+        assert metrics["als"].total_regret <= metrics["g-global"].total_regret + 1e-6
+
+    def test_runtime_repeats_average(self, scenario, city):
+        metrics = run_cell(
+            scenario, city=city, methods=["g-global"], restarts=1, runtime_repeats=3
+        )
+        assert metrics["g-global"].runtime_s > 0.0
+
+    def test_runtime_repeats_validation(self, scenario, city):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="runtime_repeats"):
+            run_cell(scenario, city=city, runtime_repeats=0)
+
+
+class TestSweep:
+    def test_alpha_sweep_structure(self, scenario, city):
+        result = sweep(
+            scenario, "alpha", (0.4, 0.8), methods=["g-global", "bls"], restarts=1, city=city
+        )
+        assert result.parameter == "alpha"
+        assert result.values == [0.4, 0.8]
+        assert set(result.cells) == {0.4, 0.8}
+        series = result.series("bls")
+        assert len(series) == 2
+
+    def test_series_attribute_selection(self, scenario, city):
+        result = sweep(scenario, "alpha", (0.8,), methods=["g-global"], restarts=1, city=city)
+        runtimes = result.series("g-global", "runtime_s")
+        assert runtimes[0] >= 0.0
+
+    def test_metric_lookup(self, scenario, city):
+        result = sweep(scenario, "gamma", (0.0, 1.0), methods=["g-global"], restarts=1, city=city)
+        cell = result.metric(0.0, "g-global")
+        assert cell.method == "g-global"
+
+    def test_gamma_zero_not_cheaper_than_gamma_one(self, scenario, city):
+        # Larger γ forgives unsatisfied demand more ⇒ regret non-increasing.
+        result = sweep(
+            scenario.with_params(alpha=1.2),
+            "gamma",
+            (0.0, 1.0),
+            methods=["g-global"],
+            restarts=1,
+            city=city,
+        )
+        assert (
+            result.metric(1.0, "g-global").total_regret
+            <= result.metric(0.0, "g-global").total_regret + 1e-6
+        )

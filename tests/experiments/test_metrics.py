@@ -1,0 +1,44 @@
+"""Tests for the experiment metrics."""
+
+import pytest
+
+from repro.algorithms.registry import make_solver
+from repro.experiments.metrics import CellMetrics
+
+
+def test_from_result(example1):
+    result = make_solver("g-global").solve(example1)
+    metrics = CellMetrics.from_result("g-global", result)
+    assert metrics.method == "g-global"
+    assert metrics.total_regret == pytest.approx(result.total_regret)
+    assert metrics.num_advertisers == 3
+    assert 0 <= metrics.satisfied_advertisers <= 3
+    assert metrics.runtime_s >= 0.0
+
+
+def test_percentages_sum_when_regret_positive():
+    metrics = CellMetrics(
+        method="x",
+        total_regret=10.0,
+        unsatisfied_penalty=7.5,
+        excessive_influence=2.5,
+        satisfied_advertisers=1,
+        num_advertisers=2,
+        runtime_s=0.1,
+    )
+    assert metrics.unsatisfied_pct == pytest.approx(75.0)
+    assert metrics.excessive_pct == pytest.approx(25.0)
+
+
+def test_percentages_zero_when_regret_zero():
+    metrics = CellMetrics(
+        method="x",
+        total_regret=0.0,
+        unsatisfied_penalty=0.0,
+        excessive_influence=0.0,
+        satisfied_advertisers=2,
+        num_advertisers=2,
+        runtime_s=0.1,
+    )
+    assert metrics.unsatisfied_pct == 0.0
+    assert metrics.excessive_pct == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the text figure renditions."""
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.metrics import CellMetrics
+from repro.experiments.reporting import (
+    format_distribution_table,
+    format_regret_table,
+    format_runtime_table,
+)
+
+
+def fake_result() -> ExperimentResult:
+    result = ExperimentResult(parameter="alpha", values=[0.4, 1.0])
+    for value in result.values:
+        result.cells[value] = {
+            method: CellMetrics(
+                method=method,
+                total_regret=100.0 * value,
+                unsatisfied_penalty=60.0 * value,
+                excessive_influence=40.0 * value,
+                satisfied_advertisers=3,
+                num_advertisers=4,
+                runtime_s=0.25,
+            )
+            for method in ("g-order", "bls")
+        }
+    return result
+
+
+class TestRegretTable:
+    def test_contains_rows_and_percentages(self):
+        table = format_regret_table(fake_result(), "Figure X")
+        assert "Figure X" in table
+        assert "G-Order" in table
+        assert "BLS" in table
+        assert "40%" in table and "100%" in table
+        assert "60.0%" in table  # unsat share
+        assert "3/4" in table
+
+    def test_value_format_override(self):
+        table = format_regret_table(fake_result(), "T", value_format="{:.2f}")
+        assert "0.40" in table
+
+
+class TestRuntimeTable:
+    def test_contains_seconds(self):
+        table = format_runtime_table(fake_result(), "Runtime")
+        assert "0.250s" in table
+        assert "G-Order" in table
+
+
+class TestDistributionTable:
+    def test_rows_per_fraction(self):
+        table = format_distribution_table(
+            [0.1, 0.5], {"NYC": [0.2, 0.6], "SG": [0.4, 0.9]}, "Figure 1b"
+        )
+        assert "NYC" in table and "SG" in table
+        assert "10%" in table and "50%" in table
+        assert "0.600" in table

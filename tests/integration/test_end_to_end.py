@@ -1,0 +1,102 @@
+"""End-to-end integration tests: city → instance → all solvers → shapes.
+
+These assert the qualitative relationships the paper's evaluation reports,
+at a reduced scale so the whole suite stays fast.
+"""
+
+import pytest
+
+from repro.algorithms.registry import PAPER_METHODS, make_solver
+from repro.core.validation import validate_allocation
+from repro.market.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def nyc_city():
+    return Scenario(dataset="nyc", n_billboards=150, n_trajectories=1_200, seed=13).build_city()
+
+
+@pytest.fixture(scope="module")
+def sg_city():
+    return Scenario(dataset="sg", n_billboards=220, n_trajectories=1_200, seed=13).build_city()
+
+
+def solve_all(instance, seed=0, restarts=1):
+    return {
+        method: make_solver(method, seed=seed, restarts=restarts).solve(instance)
+        for method in PAPER_METHODS
+    }
+
+
+class TestStructuralValidity:
+    @pytest.mark.parametrize("alpha", [0.4, 1.0])
+    def test_all_solvers_produce_valid_plans(self, nyc_city, alpha):
+        instance = Scenario(
+            dataset="nyc", alpha=alpha, p_avg=0.1, seed=13
+        ).build_instance(nyc_city)
+        for method, result in solve_all(instance).items():
+            validate_allocation(result.allocation)
+            assert result.total_regret == pytest.approx(
+                result.allocation.total_regret()
+            ), method
+
+
+class TestPaperShapes:
+    def test_local_search_beats_g_global(self, nyc_city):
+        instance = Scenario(dataset="nyc", alpha=0.8, p_avg=0.05, seed=13).build_instance(
+            nyc_city
+        )
+        results = solve_all(instance)
+        assert results["bls"].total_regret <= results["g-global"].total_regret + 1e-6
+        assert results["als"].total_regret <= results["g-global"].total_regret + 1e-6
+
+    def test_low_alpha_regret_is_excess_dominated(self, nyc_city):
+        instance = Scenario(dataset="nyc", alpha=0.4, p_avg=0.02, seed=13).build_instance(
+            nyc_city
+        )
+        result = make_solver("g-global").solve(instance)
+        assert result.satisfied_count == instance.num_advertisers
+        assert result.breakdown.excessive_share == pytest.approx(1.0)
+
+    def test_excessive_alpha_regret_is_unsat_dominated(self, nyc_city):
+        instance = Scenario(dataset="nyc", alpha=1.2, p_avg=0.05, seed=13).build_instance(
+            nyc_city
+        )
+        result = make_solver("g-global").solve(instance)
+        assert result.satisfied_count < instance.num_advertisers
+        assert result.breakdown.unsatisfied_share > 0.5
+
+    def test_regret_grows_with_alpha(self, nyc_city):
+        lows = Scenario(dataset="nyc", alpha=0.4, p_avg=0.05, seed=13).build_instance(nyc_city)
+        highs = Scenario(dataset="nyc", alpha=1.2, p_avg=0.05, seed=13).build_instance(nyc_city)
+        low = make_solver("g-global").solve(lows).total_regret
+        high = make_solver("g-global").solve(highs).total_regret
+        assert high > low
+
+    def test_gamma_relief(self, nyc_city):
+        tight = Scenario(dataset="nyc", alpha=1.2, p_avg=0.05, gamma=0.0, seed=13)
+        loose = tight.with_params(gamma=1.0)
+        regret_tight = make_solver("g-global").solve(tight.build_instance(nyc_city)).total_regret
+        regret_loose = make_solver("g-global").solve(loose.build_instance(nyc_city)).total_regret
+        assert regret_loose <= regret_tight + 1e-6
+
+    def test_sg_runs_end_to_end(self, sg_city):
+        instance = Scenario(dataset="sg", alpha=0.8, p_avg=0.1, seed=13).build_instance(
+            sg_city
+        )
+        results = solve_all(instance)
+        assert results["bls"].total_regret <= results["g-global"].total_regret + 1e-6
+        for result in results.values():
+            validate_allocation(result.allocation)
+
+
+class TestRuntimeOrdering:
+    def test_greedies_faster_than_local_search(self, nyc_city):
+        instance = Scenario(dataset="nyc", alpha=1.0, p_avg=0.05, seed=13).build_instance(
+            nyc_city
+        )
+        results = solve_all(instance, restarts=2)
+        greedy_time = max(
+            results["g-order"].runtime_s, results["g-global"].runtime_s
+        )
+        assert results["bls"].runtime_s > greedy_time

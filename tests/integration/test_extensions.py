@@ -1,0 +1,75 @@
+"""Integration tests for the extension modules on generated cities."""
+
+import pytest
+
+from repro.algorithms.registry import make_solver
+from repro.analysis import inventory_criticality, market_summary, plan_report
+from repro.billboard.digital import expand_digital
+from repro.core.advertiser import Advertiser
+from repro.core.problem import MROAMInstance
+from repro.core.validation import validate_allocation
+from repro.market.online import OnlineHost
+
+
+class TestDigitalOnCity:
+    def test_expansion_of_generated_city(self, small_nyc):
+        physical = small_nyc.coverage(100.0)
+        expansion = expand_digital(physical, small_nyc.trajectories, slots=4)
+        assert expansion.num_virtual == 4 * physical.num_billboards
+        # Per-panel slot unions recover the physical coverage.
+        for panel in (0, 7, 42):
+            virtual_ids = [expansion.virtual_id(panel, s) for s in range(4)]
+            assert expansion.coverage.influence_of_set(virtual_ids) == (
+                physical.influence_of(panel)
+            )
+
+    def test_solving_on_virtual_inventory(self, small_nyc):
+        physical = small_nyc.coverage(100.0)
+        expansion = expand_digital(physical, small_nyc.trajectories, slots=2)
+        supply = expansion.coverage.supply
+        instance = MROAMInstance(
+            expansion.coverage,
+            [
+                Advertiser(0, max(1, int(0.1 * supply)), 100.0),
+                Advertiser(1, max(1, int(0.05 * supply)), 50.0),
+            ],
+            gamma=0.5,
+        )
+        result = make_solver("g-global").solve(instance)
+        validate_allocation(result.allocation)
+
+
+class TestOnlineHostOnCity:
+    def test_day_of_operations(self, small_nyc):
+        coverage = small_nyc.coverage(100.0)
+        host = OnlineHost(coverage, repair_sweeps=1, seed=4)
+        supply = coverage.supply
+        for fraction in (0.10, 0.15, 0.08):
+            quote = host.accept(max(1, int(fraction * supply)), 100.0)
+            assert quote.regret_after >= 0.0
+        validate_allocation(host.allocation)
+        before = host.total_regret()
+        after = host.reoptimize(restarts=1)
+        assert after <= before + 1e-9
+
+
+class TestAnalysisOnCity:
+    def test_report_and_criticality_consistency(self, small_nyc):
+        coverage = small_nyc.coverage(100.0)
+        supply = coverage.supply
+        instance = MROAMInstance(
+            coverage,
+            [
+                Advertiser(0, max(1, int(0.12 * supply)), 120.0, name="big"),
+                Advertiser(1, max(1, int(0.04 * supply)), 40.0, name="small"),
+            ],
+            gamma=0.5,
+        )
+        result = make_solver("bls", seed=2, restarts=1).solve(instance)
+        rows = plan_report(result.allocation)
+        assert sum(row.regret for row in rows) == pytest.approx(result.total_regret)
+
+        critical = inventory_criticality(result.allocation, top_k=5)
+        assert len(critical) <= 5
+        summary = market_summary(instance)
+        assert summary.alpha == pytest.approx(0.16, abs=0.05)

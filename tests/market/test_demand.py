@@ -1,0 +1,65 @@
+"""Tests for the advertiser generation model (Section 7.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.market.demand import advertiser_count, generate_advertisers
+
+
+class TestAdvertiserCount:
+    @pytest.mark.parametrize(
+        "alpha, p_avg, expected",
+        [(1.0, 0.05, 20), (1.0, 0.01, 100), (1.0, 0.20, 5), (0.4, 0.01, 40), (1.2, 0.02, 60)],
+    )
+    def test_paper_cells(self, alpha, p_avg, expected):
+        # e.g. α=100 %, p=1 % ⇒ 100 small advertisers (Section 7.1.3).
+        assert advertiser_count(alpha, p_avg) == expected
+
+    def test_at_least_one(self):
+        assert advertiser_count(0.01, 0.99) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            advertiser_count(0.0, 0.05)
+        with pytest.raises(ValueError, match="p_avg"):
+            advertiser_count(1.0, 0.0)
+
+
+class TestGenerateAdvertisers:
+    SUPPLY = 100_000
+
+    def test_count_and_ids(self):
+        advertisers = generate_advertisers(self.SUPPLY, alpha=1.0, p_avg=0.05, seed=0)
+        assert len(advertisers) == 20
+        assert [a.advertiser_id for a in advertisers] == list(range(20))
+
+    def test_demand_within_omega_range(self):
+        advertisers = generate_advertisers(self.SUPPLY, alpha=1.0, p_avg=0.05, seed=1)
+        expected_base = self.SUPPLY * 0.05
+        for advertiser in advertisers:
+            assert 0.8 * expected_base - 1 <= advertiser.demand <= 1.2 * expected_base
+
+    def test_payment_within_epsilon_range(self):
+        advertisers = generate_advertisers(self.SUPPLY, alpha=1.0, p_avg=0.05, seed=2)
+        for advertiser in advertisers:
+            assert 0.9 * advertiser.demand - 1 <= advertiser.payment <= 1.1 * advertiser.demand
+
+    def test_global_demand_tracks_alpha(self):
+        advertisers = generate_advertisers(self.SUPPLY, alpha=0.8, p_avg=0.01, seed=3)
+        global_demand = sum(a.demand for a in advertisers)
+        assert global_demand == pytest.approx(0.8 * self.SUPPLY, rel=0.1)
+
+    def test_reproducible(self):
+        a = generate_advertisers(self.SUPPLY, 1.0, 0.05, seed=7)
+        b = generate_advertisers(self.SUPPLY, 1.0, 0.05, seed=7)
+        assert [(x.demand, x.payment) for x in a] == [(x.demand, x.payment) for x in b]
+
+    def test_tiny_supply_yields_valid_contracts(self):
+        advertisers = generate_advertisers(10, alpha=1.0, p_avg=0.05, seed=4)
+        for advertiser in advertisers:
+            assert advertiser.demand >= 1
+            assert advertiser.payment >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="supply"):
+            generate_advertisers(0, 1.0, 0.05)

@@ -1,0 +1,96 @@
+"""Tests for the online host workflow."""
+
+import pytest
+
+from repro.billboard.influence import CoverageIndex
+from repro.core.validation import validate_allocation
+from repro.market.online import OnlineHost
+
+
+def disjoint_coverage(num_billboards=6, per_board=3) -> CoverageIndex:
+    lists = [range(i * per_board, (i + 1) * per_board) for i in range(num_billboards)]
+    return CoverageIndex.from_coverage_lists(lists, num_billboards * per_board)
+
+
+class TestQuote:
+    def test_quote_does_not_mutate_state(self):
+        host = OnlineHost(disjoint_coverage())
+        quote = host.quote(demand=3, payment=3.0, name="first")
+        assert quote.would_satisfy
+        assert host.allocation is None
+        assert host.advertisers == ()
+
+    def test_serviceable_proposal_is_attractive(self):
+        host = OnlineHost(disjoint_coverage())
+        quote = host.quote(demand=6, payment=6.0)
+        assert quote.attractive
+        assert quote.regret_delta <= 1e-9
+
+    def test_oversized_proposal_is_unattractive(self):
+        host = OnlineHost(disjoint_coverage())
+        quote = host.quote(demand=1_000, payment=1_000.0)
+        assert not quote.would_satisfy
+        assert not quote.attractive
+        assert quote.regret_delta > 0
+
+
+class TestAcceptance:
+    def test_accept_grows_the_book(self):
+        host = OnlineHost(disjoint_coverage())
+        host.accept(demand=3, payment=3.0, name="a")
+        host.accept(demand=6, payment=6.0, name="b")
+        assert len(host.advertisers) == 2
+        assert host.allocation is not None
+        validate_allocation(host.allocation)
+        assert host.allocation.is_satisfied(0)
+        assert host.allocation.is_satisfied(1)
+        assert host.total_regret() == pytest.approx(0.0)
+
+    def test_existing_assignments_carry_over(self):
+        host = OnlineHost(disjoint_coverage(), repair_sweeps=0)
+        host.accept(demand=3, payment=3.0, name="a")
+        first_set = host.allocation.billboards_of(0)
+        host.accept(demand=3, payment=3.0, name="b")
+        # With no repair sweeps the incumbent's billboards stay put.
+        assert host.allocation.billboards_of(0) == first_set
+
+    def test_fill_until_capacity(self):
+        host = OnlineHost(disjoint_coverage(num_billboards=4, per_board=3))
+        for index in range(4):
+            host.accept(demand=3, payment=3.0, name=f"adv{index}")
+        assert host.total_regret() == pytest.approx(0.0)
+        # A fifth advertiser cannot be served: the quote must say so.
+        quote = host.quote(demand=3, payment=3.0, name="late")
+        assert not quote.would_satisfy
+
+    def test_quote_then_accept_consistency(self):
+        host = OnlineHost(disjoint_coverage())
+        quote = host.quote(demand=9, payment=9.0)
+        accepted = host.accept(demand=9, payment=9.0)
+        assert accepted.regret_after == pytest.approx(quote.regret_after)
+
+
+class TestReoptimize:
+    def test_reoptimize_never_worsens(self):
+        host = OnlineHost(disjoint_coverage(), repair_sweeps=0, seed=1)
+        host.accept(demand=3, payment=3.0)
+        host.accept(demand=9, payment=9.0)
+        before = host.total_regret()
+        after = host.reoptimize(restarts=2)
+        assert after <= before + 1e-9
+        validate_allocation(host.allocation)
+
+    def test_reoptimize_empty_book(self):
+        host = OnlineHost(disjoint_coverage())
+        assert host.reoptimize() == 0.0
+
+    def test_instance_requires_book(self):
+        host = OnlineHost(disjoint_coverage())
+        with pytest.raises(ValueError, match="empty"):
+            host.instance()
+
+
+class TestConfiguration:
+    def test_rejects_negative_sweeps(self):
+        with pytest.raises(ValueError, match="repair_sweeps"):
+            OnlineHost(disjoint_coverage(), repair_sweeps=-1)

@@ -1,0 +1,59 @@
+"""Tests for scenario construction."""
+
+import pytest
+
+from repro.market.scenario import Scenario
+
+
+class TestScenario:
+    def test_defaults_match_table6_bold_values(self):
+        scenario = Scenario()
+        assert scenario.alpha == 1.0
+        assert scenario.p_avg == 0.05
+        assert scenario.gamma == 0.5
+        assert scenario.lambda_m == 100.0
+
+    def test_with_params(self):
+        scenario = Scenario(alpha=1.0).with_params(alpha=0.4, gamma=0.25)
+        assert scenario.alpha == 0.4
+        assert scenario.gamma == 0.25
+        assert scenario.p_avg == 0.05  # untouched
+
+    def test_build_instance_end_to_end(self):
+        scenario = Scenario(
+            dataset="nyc", n_billboards=40, n_trajectories=200, alpha=0.6, p_avg=0.1, seed=1
+        )
+        instance = scenario.build_instance()
+        assert instance.num_billboards == 40
+        assert instance.num_advertisers == 6  # 0.6 / 0.1
+        assert instance.gamma == 0.5
+        # The realized α tracks the requested one (ω noise aside).
+        assert instance.demand_supply_ratio == pytest.approx(0.6, rel=0.2)
+
+    def test_city_reuse(self, small_nyc):
+        scenario = Scenario(dataset="nyc", alpha=0.8, p_avg=0.1, seed=3)
+        instance = scenario.build_instance(small_nyc)
+        assert instance.num_billboards == len(small_nyc.billboards)
+
+    def test_same_cell_reproducible(self, small_nyc):
+        scenario = Scenario(dataset="nyc", seed=5)
+        first = scenario.build_instance(small_nyc)
+        second = scenario.build_instance(small_nyc)
+        assert [a.demand for a in first.advertisers] == [
+            a.demand for a in second.advertisers
+        ]
+
+    def test_different_cells_draw_different_contracts(self, small_nyc):
+        base = Scenario(dataset="nyc", seed=5)
+        a = base.build_instance(small_nyc)
+        b = base.with_params(alpha=0.8).build_instance(small_nyc)
+        assert [x.demand for x in a.advertisers] != [x.demand for x in b.advertisers]
+
+    def test_lambda_flows_to_coverage(self, small_nyc):
+        wide = Scenario(dataset="nyc", lambda_m=200.0, seed=1).build_instance(small_nyc)
+        narrow = Scenario(dataset="nyc", lambda_m=50.0, seed=1).build_instance(small_nyc)
+        assert wide.coverage.supply > narrow.coverage.supply
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Scenario().alpha = 2.0

@@ -1,0 +1,61 @@
+"""Tests for axis-aligned bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import Point
+
+
+class TestConstruction:
+    def test_rejects_inverted_box(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            BoundingBox(10.0, 0.0, 0.0, 5.0)
+
+    def test_zero_area_box_is_allowed(self):
+        box = BoundingBox(1.0, 2.0, 1.0, 2.0)
+        assert box.width == 0.0
+        assert box.height == 0.0
+
+    def test_from_points(self):
+        points = np.array([[0.0, 5.0], [2.0, -1.0], [1.0, 3.0]])
+        box = BoundingBox.from_points(points)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0.0, -1.0, 2.0, 5.0)
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero points"):
+            BoundingBox.from_points(np.zeros((0, 2)))
+
+
+class TestQueries:
+    box = BoundingBox(0.0, 0.0, 10.0, 20.0)
+
+    def test_dimensions(self):
+        assert self.box.width == 10.0
+        assert self.box.height == 20.0
+
+    def test_center(self):
+        assert self.box.center == Point(5.0, 10.0)
+
+    def test_contains_interior_and_boundary(self):
+        assert self.box.contains(Point(5.0, 5.0))
+        assert self.box.contains(Point(0.0, 0.0))
+        assert self.box.contains(Point(10.0, 20.0))
+
+    def test_does_not_contain_exterior(self):
+        assert not self.box.contains(Point(-0.1, 5.0))
+        assert not self.box.contains(Point(5.0, 20.1))
+
+    def test_expanded(self):
+        grown = self.box.expanded(5.0)
+        assert grown.min_x == -5.0
+        assert grown.max_y == 25.0
+        assert grown.contains(Point(-3.0, 22.0))
+
+    def test_clamp_inside_is_identity(self):
+        point = Point(3.0, 4.0)
+        assert self.box.clamp(point) == point
+
+    def test_clamp_outside_projects_onto_boundary(self):
+        assert self.box.clamp(Point(-5.0, 30.0)) == Point(0.0, 20.0)
+        assert self.box.clamp(Point(15.0, -3.0)) == Point(10.0, 0.0)

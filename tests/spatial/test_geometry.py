@@ -1,0 +1,125 @@
+"""Unit and property tests for the geometry primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import (
+    Point,
+    distance,
+    interpolate_path,
+    pairwise_distances,
+    path_length,
+)
+
+finite_coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_distance_to_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_function_matches_method(self):
+        a, b = Point(1.0, 2.0), Point(-3.0, 7.0)
+        assert distance(a, b) == pytest.approx(a.distance_to(b))
+
+    def test_as_array_round_trip(self):
+        point = Point(1.5, -2.5)
+        assert np.allclose(point.as_array(), [1.5, -2.5])
+
+    def test_translated(self):
+        assert Point(1.0, 1.0).translated(2.0, -3.0) == Point(3.0, -2.0)
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0.0, 0.0).x = 1.0
+
+    @given(finite_coord, finite_coord, finite_coord, finite_coord)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite_coord, finite_coord)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert Point(x, y).distance_to(Point(x, y)) == 0.0
+
+
+class TestPairwiseDistances:
+    def test_matches_scalar_distance(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        centers = np.array([[3.0, 4.0]])
+        matrix = pairwise_distances(points, centers)
+        assert matrix.shape == (2, 1)
+        assert matrix[0, 0] == pytest.approx(5.0)
+        assert matrix[1, 0] == pytest.approx(math.hypot(2.0, 3.0))
+
+    def test_empty_centers(self):
+        matrix = pairwise_distances(np.zeros((3, 2)), np.zeros((0, 2)))
+        assert matrix.shape == (3, 0)
+
+
+class TestPathLength:
+    def test_single_point_has_zero_length(self):
+        assert path_length(np.array([[1.0, 2.0]])) == 0.0
+
+    def test_straight_segment(self):
+        assert path_length(np.array([[0.0, 0.0], [3.0, 4.0]])) == pytest.approx(5.0)
+
+    def test_l_shape(self):
+        points = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 5.0]])
+        assert path_length(points) == pytest.approx(7.0)
+
+    def test_empty(self):
+        assert path_length(np.zeros((0, 2))) == 0.0
+
+
+class TestInterpolatePath:
+    def test_endpoints_preserved(self):
+        waypoints = np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 50.0]])
+        dense = interpolate_path(waypoints, spacing=10.0)
+        assert np.allclose(dense[0], waypoints[0])
+        assert np.allclose(dense[-1], waypoints[-1])
+
+    def test_spacing_roughly_respected(self):
+        waypoints = np.array([[0.0, 0.0], [1000.0, 0.0]])
+        dense = interpolate_path(waypoints, spacing=100.0)
+        gaps = np.sqrt(np.sum(np.diff(dense, axis=0) ** 2, axis=1))
+        assert gaps.max() <= 100.0 + 1e-9
+
+    def test_length_preserved_for_straight_line(self):
+        waypoints = np.array([[0.0, 0.0], [777.0, 0.0]])
+        dense = interpolate_path(waypoints, spacing=50.0)
+        assert path_length(dense) == pytest.approx(777.0)
+
+    def test_degenerate_zero_length_path(self):
+        waypoints = np.array([[5.0, 5.0], [5.0, 5.0]])
+        dense = interpolate_path(waypoints, spacing=10.0)
+        assert len(dense) == 1
+
+    def test_single_waypoint(self):
+        waypoints = np.array([[1.0, 2.0]])
+        assert np.allclose(interpolate_path(waypoints, 10.0), waypoints)
+
+    def test_empty_input(self):
+        assert interpolate_path(np.zeros((0, 2)), 10.0).shape == (0, 2)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError, match="spacing"):
+            interpolate_path(np.array([[0.0, 0.0], [1.0, 1.0]]), 0.0)
+
+    @given(st.integers(min_value=2, max_value=8), st.floats(min_value=5.0, max_value=500.0))
+    def test_samples_lie_on_polyline_for_monotone_x(self, n, spacing):
+        # A polyline that is monotone in x: every resampled point must have a
+        # y value interpolable from the segment containing its x.
+        xs = np.cumsum(np.full(n, 100.0))
+        ys = np.zeros(n)
+        waypoints = np.column_stack([xs, ys])
+        dense = interpolate_path(waypoints, spacing)
+        assert np.allclose(dense[:, 1], 0.0)
+        assert dense[:, 0].min() >= xs[0] - 1e-9
+        assert dense[:, 0].max() <= xs[-1] + 1e-9

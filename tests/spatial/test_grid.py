@@ -1,0 +1,90 @@
+"""Tests for the uniform grid index, including a brute-force property check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import pairwise_distances
+from repro.spatial.grid import GridIndex
+from repro.utils.rng import as_generator
+
+
+def brute_force_radius(points: np.ndarray, x: float, y: float, radius: float) -> np.ndarray:
+    distances = pairwise_distances(points, np.array([[x, y]]))[:, 0]
+    return np.nonzero(distances <= radius)[0]
+
+
+class TestGridIndexBasics:
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex(np.zeros((1, 2)), cell_size=0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            GridIndex(np.zeros((3, 3)), cell_size=1.0)
+
+    def test_empty_index(self):
+        grid = GridIndex(np.zeros((0, 2)), cell_size=1.0)
+        assert len(grid) == 0
+        assert len(grid.query_radius(0.0, 0.0, 10.0)) == 0
+        assert len(grid.query_radius_bulk(np.array([[0.0, 0.0]]), 10.0)) == 0
+
+    def test_single_point_hit_and_miss(self):
+        grid = GridIndex(np.array([[5.0, 5.0]]), cell_size=2.0)
+        assert grid.query_radius(5.0, 5.0, 1.0).tolist() == [0]
+        assert grid.query_radius(9.0, 9.0, 1.0).tolist() == []
+
+    def test_boundary_point_included(self):
+        grid = GridIndex(np.array([[0.0, 0.0]]), cell_size=1.0)
+        assert grid.query_radius(3.0, 4.0, 5.0).tolist() == [0]
+
+    def test_query_reaches_beyond_one_cell(self):
+        # Radius larger than the cell size must still find far points.
+        grid = GridIndex(np.array([[0.0, 0.0], [9.0, 0.0]]), cell_size=1.0)
+        assert grid.query_radius(0.0, 0.0, 10.0).tolist() == [0, 1]
+
+    def test_bulk_deduplicates(self):
+        grid = GridIndex(np.array([[0.0, 0.0]]), cell_size=1.0)
+        queries = np.array([[0.1, 0.0], [0.0, 0.1], [-0.1, 0.0]])
+        assert grid.query_radius_bulk(queries, 1.0).tolist() == [0]
+
+
+class TestAgainstBruteForce:
+    def test_random_points_match_brute_force(self):
+        rng = as_generator(42)
+        points = rng.uniform(0.0, 1000.0, size=(300, 2))
+        grid = GridIndex(points, cell_size=50.0)
+        for _ in range(50):
+            x, y = rng.uniform(0.0, 1000.0, size=2)
+            radius = float(rng.uniform(1.0, 200.0))
+            expected = brute_force_radius(points, x, y, radius)
+            actual = grid.query_radius(x, y, radius)
+            assert actual.tolist() == expected.tolist()
+
+    def test_bulk_matches_union_of_single_queries(self):
+        rng = as_generator(7)
+        points = rng.uniform(0.0, 500.0, size=(100, 2))
+        grid = GridIndex(points, cell_size=30.0)
+        queries = rng.uniform(0.0, 500.0, size=(20, 2))
+        singles = set()
+        for x, y in queries:
+            singles.update(grid.query_radius(float(x), float(y), 60.0).tolist())
+        bulk = grid.query_radius_bulk(queries, 60.0)
+        assert set(bulk.tolist()) == singles
+        assert np.all(np.diff(bulk) > 0)  # sorted, unique
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        cell=st.floats(min_value=5.0, max_value=200.0),
+        radius=st.floats(min_value=0.5, max_value=300.0),
+    )
+    def test_property_grid_equals_brute_force(self, seed, cell, radius):
+        rng = as_generator(seed)
+        points = rng.uniform(-200.0, 200.0, size=(60, 2))
+        grid = GridIndex(points, cell_size=cell)
+        x, y = rng.uniform(-250.0, 250.0, size=2)
+        expected = brute_force_radius(points, float(x), float(y), radius)
+        actual = grid.query_radius(float(x), float(y), radius)
+        assert actual.tolist() == expected.tolist()

@@ -1,0 +1,102 @@
+"""Tests for the road-network routing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.geometry import path_length
+from repro.spatial.roadnet import RoadNetwork
+
+
+class TestGridConstruction:
+    def test_node_and_edge_counts(self):
+        network = RoadNetwork.grid(4, 3, spacing=100.0)
+        assert network.graph.number_of_nodes() == 12
+        # Horizontal: 3 per row × 3 rows; vertical: 4 per column... = 3*3 + 2*4
+        assert network.graph.number_of_edges() == 3 * 3 + 2 * 4
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError, match="2x2"):
+            RoadNetwork.grid(1, 5)
+
+    def test_drop_fraction_keeps_connectivity(self):
+        import networkx as nx
+
+        network = RoadNetwork.grid(6, 6, spacing=100.0, drop_fraction=0.2, seed=3)
+        assert nx.is_connected(network.graph)
+        full = RoadNetwork.grid(6, 6, spacing=100.0)
+        assert network.graph.number_of_edges() <= full.graph.number_of_edges()
+
+    def test_rejects_bad_drop_fraction(self):
+        with pytest.raises(ValueError, match="drop_fraction"):
+            RoadNetwork.grid(3, 3, drop_fraction=1.0)
+
+    def test_total_street_length(self):
+        network = RoadNetwork.grid(2, 2, spacing=100.0)
+        assert network.total_street_length() == pytest.approx(400.0)
+
+
+class TestSnapping:
+    def test_nearest_node(self):
+        network = RoadNetwork.grid(3, 3, spacing=100.0)
+        assert network.nearest_node(np.array([5.0, -3.0])) == 0
+        assert network.nearest_node(np.array([195.0, 210.0])) == 8
+
+    def test_far_point_still_snaps(self):
+        network = RoadNetwork.grid(3, 3, spacing=100.0)
+        node = network.nearest_node(np.array([10_000.0, 10_000.0]))
+        assert node == 8  # the far corner
+
+
+class TestRouting:
+    def test_route_endpoints_are_raw_points(self):
+        network = RoadNetwork.grid(5, 5, spacing=100.0)
+        origin = np.array([12.0, 7.0])
+        destination = np.array([388.0, 402.0])
+        route = network.route(origin, destination)
+        assert np.allclose(route[0], origin)
+        assert np.allclose(route[-1], destination)
+
+    def test_route_length_at_least_euclidean(self):
+        network = RoadNetwork.grid(5, 5, spacing=100.0)
+        origin = np.array([0.0, 0.0])
+        destination = np.array([400.0, 400.0])
+        route = network.route(origin, destination)
+        assert path_length(route) >= np.linalg.norm(destination - origin) - 1e-9
+
+    def test_route_follows_streets(self):
+        # Every interior waypoint must be an intersection position.
+        network = RoadNetwork.grid(4, 4, spacing=100.0)
+        route = network.route(np.array([0.0, 0.0]), np.array([300.0, 300.0]))
+        for waypoint in route[1:-1]:
+            distances = np.linalg.norm(network.positions - waypoint, axis=1)
+            assert distances.min() < 1e-9
+
+    def test_trips_between_integration(self):
+        from repro.trajectory.generators import trips_between
+
+        network = RoadNetwork.grid(5, 5, spacing=100.0)
+        origins = np.array([[0.0, 0.0], [10.0, 390.0]])
+        destinations = np.array([[400.0, 0.0], [390.0, 10.0]])
+        db = trips_between(
+            origins, destinations, network.router(), sample_spacing=25.0, speed_mps=5.0
+        )
+        assert len(db) == 2
+        assert db[0].length >= 400.0 - 1e-6
+
+
+class TestValidation:
+    def test_rejects_disconnected_graph(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        with pytest.raises(ValueError, match="connected"):
+            RoadNetwork(graph, np.zeros((2, 2)))
+
+    def test_rejects_position_mismatch(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge(0, 1, length=1.0)
+        with pytest.raises(ValueError, match="positions"):
+            RoadNetwork(graph, np.zeros((3, 2)))

@@ -1,0 +1,73 @@
+"""Tests for segment/polyline distance primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import min_distance_to_polyline, point_to_segment_distance
+
+coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestPointToSegment:
+    def test_projection_inside_segment(self):
+        assert point_to_segment_distance(
+            np.array([5.0, 3.0]), np.array([0.0, 0.0]), np.array([10.0, 0.0])
+        ) == pytest.approx(3.0)
+
+    def test_projection_clamped_to_endpoint(self):
+        assert point_to_segment_distance(
+            np.array([-4.0, 3.0]), np.array([0.0, 0.0]), np.array([10.0, 0.0])
+        ) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert point_to_segment_distance(
+            np.array([3.0, 4.0]), np.array([0.0, 0.0]), np.array([0.0, 0.0])
+        ) == pytest.approx(5.0)
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_never_exceeds_endpoint_distances(self, px, py, ax, ay, bx, by):
+        point = np.array([px, py])
+        a, b = np.array([ax, ay]), np.array([bx, by])
+        dist = point_to_segment_distance(point, a, b)
+        assert dist <= np.linalg.norm(point - a) + 1e-6
+        assert dist <= np.linalg.norm(point - b) + 1e-6
+        assert dist >= -1e-12
+
+
+class TestMinDistanceToPolyline:
+    def test_single_point_polyline(self):
+        assert min_distance_to_polyline(
+            np.array([3.0, 4.0]), np.array([[0.0, 0.0]])
+        ) == pytest.approx(5.0)
+
+    def test_empty_polyline_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            min_distance_to_polyline(np.array([0.0, 0.0]), np.zeros((0, 2)))
+
+    def test_closest_segment_wins(self):
+        polyline = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0]])
+        assert min_distance_to_polyline(
+            np.array([12.0, 5.0]), polyline
+        ) == pytest.approx(2.0)
+
+    def test_interior_closest_point(self):
+        # Point beside the middle of the first segment: distance is
+        # perpendicular, smaller than to any vertex.
+        polyline = np.array([[0.0, 0.0], [100.0, 0.0]])
+        assert min_distance_to_polyline(
+            np.array([50.0, 7.0]), polyline
+        ) == pytest.approx(7.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_pairwise_segment_minimum(self, seed):
+        rng = np.random.default_rng(seed)
+        polyline = rng.uniform(-100.0, 100.0, size=(6, 2))
+        point = rng.uniform(-150.0, 150.0, size=2)
+        expected = min(
+            point_to_segment_distance(point, polyline[i], polyline[i + 1])
+            for i in range(len(polyline) - 1)
+        )
+        assert min_distance_to_polyline(point, polyline) == pytest.approx(expected)

@@ -1,0 +1,25 @@
+"""The public API surface: everything in ``repro.__all__`` importable and usable."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_quickstart_flow():
+    """The README quickstart, end to end on a tiny city."""
+    from repro import make_solver
+    from repro.market import Scenario
+
+    instance = Scenario(
+        dataset="nyc", n_billboards=40, n_trajectories=200, alpha=0.6, p_avg=0.1, seed=1
+    ).build_instance()
+    result = make_solver("bls", seed=1, restarts=1).solve(instance)
+    assert result.total_regret >= 0.0
+    assert result.breakdown.total == result.total_regret

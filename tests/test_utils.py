@@ -1,0 +1,73 @@
+"""Tests for the shared utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_children
+from repro.utils.timing import Stopwatch
+
+
+class TestRng:
+    def test_seed_reproducibility(self):
+        assert as_generator(5).integers(0, 1000) == as_generator(5).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_none_gives_fresh_entropy(self):
+        a = as_generator(None).integers(0, 2**62)
+        b = as_generator(None).integers(0, 2**62)
+        # Astronomically unlikely to collide.
+        assert a != b
+
+    def test_spawn_children_independent_and_reproducible(self):
+        first = [g.integers(0, 10**9) for g in spawn_children(7, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_children(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_children_from_generator(self):
+        children = spawn_children(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_spawn_children_rejects_negative(self):
+        with pytest.raises(ValueError, match="count"):
+            spawn_children(0, -1)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.009
+
+    def test_accumulates_across_laps(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.005)
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.005)
+        assert watch.elapsed > first
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            watch.start()
+        watch.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_stop_returns_lap(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.002)
+        lap = watch.stop()
+        assert lap == pytest.approx(watch.elapsed)

@@ -1,0 +1,105 @@
+"""Tests for the dual-objective analysis (Definition 6.1, Lemma 6.1, Thm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bls import billboard_driven_local_search
+from repro.billboard.influence import CoverageIndex
+from repro.core.advertiser import Advertiser
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.theory.duality import (
+    approximation_bound,
+    is_approximate_local_maximum,
+    max_influence_ratio,
+)
+
+
+def single_advertiser_instance(coverage_lists, num_trajectories, demand, payment=10.0):
+    coverage = CoverageIndex.from_coverage_lists(coverage_lists, num_trajectories)
+    return MROAMInstance(coverage, [Advertiser(0, demand, payment)], gamma=1.0)
+
+
+class TestMaxInfluenceRatio:
+    def test_psi(self):
+        instance = single_advertiser_instance([[0, 1], [2]], 3, demand=4)
+        assert max_influence_ratio(instance, 0) == pytest.approx(0.5)
+
+
+class TestApproximationBound:
+    def test_linear_term_dominates_for_large_r(self):
+        instance = single_advertiser_instance([[0]], 2, demand=4)  # ψ = 0.25
+        bound = approximation_bound(instance, 0, r=100.0)
+        assert bound == pytest.approx(1.0 + 100.0 * 1)
+
+    def test_geometric_term(self):
+        instance = single_advertiser_instance([[0], [1]], 2, demand=4)  # ψ = 0.25
+        bound = approximation_bound(instance, 0, r=0.0)
+        assert bound == pytest.approx((1 - 0.25) ** (-2))
+
+    def test_infinite_when_single_billboard_meets_demand(self):
+        instance = single_advertiser_instance([[0, 1]], 2, demand=2)  # ψ = 1
+        assert approximation_bound(instance, 0, r=0.0) == float("inf")
+
+    def test_rejects_negative_r(self):
+        instance = single_advertiser_instance([[0]], 1, demand=2)
+        with pytest.raises(ValueError, match="r"):
+            approximation_bound(instance, 0, r=-0.1)
+
+
+class TestLocalMaximumCheck:
+    def test_exact_satisfaction_is_local_max(self):
+        instance = single_advertiser_instance([[0, 1], [2, 3]], 4, demand=4)
+        allocation = Allocation(instance)
+        allocation.assign(0, 0)
+        allocation.assign(1, 0)
+        # R' = L at exact satisfaction; removing or adding cannot beat it.
+        assert is_approximate_local_maximum(allocation, 0, r=0.0)
+
+    def test_detects_improvable_plan(self):
+        instance = single_advertiser_instance([[0, 1], [2, 3]], 4, demand=4)
+        allocation = Allocation(instance)
+        allocation.assign(0, 0)  # R' = 10·2/4 = 5; adding o1 reaches 10
+        assert not is_approximate_local_maximum(allocation, 0, r=0.0)
+
+    def test_large_r_accepts_anything(self):
+        instance = single_advertiser_instance([[0, 1], [2, 3]], 4, demand=4)
+        allocation = Allocation(instance)
+        allocation.assign(0, 0)
+        assert is_approximate_local_maximum(allocation, 0, r=10.0)
+
+    def test_rejects_negative_r(self, tiny_instance):
+        with pytest.raises(ValueError, match="r"):
+            is_approximate_local_maximum(Allocation(tiny_instance), 0, r=-1.0)
+
+
+class TestTheorem2Empirically:
+    """BLS's plan satisfies the ρ-bound against the exhaustive R' optimum."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bls_dual_within_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        # Small single-advertiser instances with ψ < 1 so the bound is finite.
+        num_trajectories = 12
+        lists = [
+            sorted(rng.choice(num_trajectories, size=2, replace=False).tolist())
+            for _ in range(6)
+        ]
+        demand = 9  # ψ = 2/9 < 1
+        instance = single_advertiser_instance(lists, num_trajectories, demand=demand)
+
+        allocation = Allocation(instance)
+        result = billboard_driven_local_search(allocation)
+        achieved_dual = result.total_dual()
+
+        # Exhaustive optimum of R' over all subsets.
+        import itertools
+
+        best_dual = 0.0
+        for size in range(len(lists) + 1):
+            for subset in itertools.combinations(range(len(lists)), size):
+                value = instance.dual_of(0, instance.coverage.influence_of_set(subset))
+                best_dual = max(best_dual, value)
+
+        rho = approximation_bound(instance, 0, r=0.0)
+        assert rho * max(achieved_dual, 1e-12) >= best_dual - 1e-9

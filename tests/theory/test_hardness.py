@@ -1,0 +1,90 @@
+"""Tests for the N3DM → MROAM reduction (paper Section 4).
+
+The central claim: the reduced instance has minimum regret zero iff the N3DM
+instance admits a matching.  We verify both directions with the exhaustive
+oracle on tiny instances and with the explicit matching-to-plan construction.
+"""
+
+import pytest
+
+from repro.algorithms.exhaustive import ExhaustiveSolver
+from repro.core.validation import validate_allocation
+from repro.theory.hardness import matching_to_allocation, reduce_n3dm_to_mroam
+from repro.theory.n3dm import N3DMInstance, find_matching, yes_instance
+
+
+class TestReductionStructure:
+    def test_shape(self):
+        instance = yes_instance(2, seed=0)
+        mroam = reduce_n3dm_to_mroam(instance)
+        assert mroam.num_billboards == 6
+        assert mroam.num_advertisers == 2
+        assert mroam.gamma == 0.0
+
+    def test_disjoint_coverage(self):
+        instance = yes_instance(2, seed=1)
+        mroam = reduce_n3dm_to_mroam(instance)
+        seen: set[int] = set()
+        for billboard_id in range(mroam.num_billboards):
+            covered = set(mroam.coverage.covered_by(billboard_id).tolist())
+            assert not (seen & covered)
+            seen |= covered
+
+    def test_demands_equal_b_plus_13c(self):
+        instance = N3DMInstance((1,), (2,), (3,), bound=6)
+        mroam = reduce_n3dm_to_mroam(instance, c=100)
+        assert mroam.advertisers[0].demand == 6 + 13 * 100
+
+    def test_influence_revision(self):
+        instance = N3DMInstance((1,), (2,), (3,), bound=6)
+        mroam = reduce_n3dm_to_mroam(instance, c=100)
+        influences = mroam.coverage.individual_influences
+        assert influences.tolist() == [101, 302, 903]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="payment"):
+            reduce_n3dm_to_mroam(yes_instance(1, seed=0), payment=0.0)
+        with pytest.raises(ValueError, match="c"):
+            reduce_n3dm_to_mroam(yes_instance(1, seed=0), c=-5)
+
+
+class TestMatchingToAllocation:
+    def test_matching_yields_zero_regret(self):
+        for seed in range(5):
+            instance = yes_instance(2, seed=seed)
+            matching = find_matching(instance)
+            assert matching is not None
+            mroam = reduce_n3dm_to_mroam(instance)
+            allocation = matching_to_allocation(mroam, matching)
+            validate_allocation(allocation)
+            assert allocation.total_regret() == pytest.approx(0.0)
+
+    def test_rejects_non_reduction_instance(self, tiny_instance):
+        with pytest.raises(ValueError, match="reduction"):
+            matching_to_allocation(tiny_instance, [(0, 0, 0)])
+
+
+class TestEquivalence:
+    """Zero minimum regret ⟺ the N3DM answer is YES (both directions)."""
+
+    def test_yes_instances_have_zero_optimum(self):
+        instance = yes_instance(1, seed=3)
+        mroam = reduce_n3dm_to_mroam(instance)
+        assert ExhaustiveSolver().solve(mroam).total_regret == pytest.approx(0.0)
+
+    def test_no_instance_has_positive_optimum(self):
+        no_instance = N3DMInstance((1, 3), (1, 1), (1, 1), bound=4)
+        assert find_matching(no_instance) is None
+        mroam = reduce_n3dm_to_mroam(no_instance)
+        optimum = ExhaustiveSolver(max_plans=1_000_000).solve(mroam).total_regret
+        assert optimum > 0.0
+
+    def test_decision_equivalence_over_random_instances(self):
+        from repro.theory.n3dm import random_instance
+
+        for seed in range(6):
+            instance = random_instance(1, seed=seed)
+            mroam = reduce_n3dm_to_mroam(instance)
+            optimum = ExhaustiveSolver().solve(mroam).total_regret
+            has_matching = find_matching(instance) is not None
+            assert (optimum == pytest.approx(0.0)) == has_matching

@@ -1,0 +1,67 @@
+"""Tests for the N3DM machinery."""
+
+import pytest
+
+from repro.theory.n3dm import N3DMInstance, find_matching, random_instance, yes_instance
+
+
+class TestInstance:
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValueError, match="share a size"):
+            N3DMInstance((1,), (1, 2), (1,), bound=3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            N3DMInstance((), (), (), bound=0)
+
+    def test_consistency_check(self):
+        assert N3DMInstance((1,), (2,), (3,), bound=6).is_consistent()
+        assert not N3DMInstance((1,), (2,), (3,), bound=7).is_consistent()
+
+
+class TestFindMatching:
+    def test_trivial_yes(self):
+        instance = N3DMInstance((1,), (2,), (3,), bound=6)
+        matching = find_matching(instance)
+        assert matching == [(0, 0, 0)]
+
+    def test_simple_yes_with_permutation(self):
+        # x=(1,2), y=(2,1), z=(3,3): matching pairs 1+2+3 and 2+1+3.
+        instance = N3DMInstance((1, 2), (2, 1), (3, 3), bound=6)
+        matching = find_matching(instance)
+        assert matching is not None
+        for i, j, k in matching:
+            assert instance.x[i] + instance.y[j] + instance.z[k] == 6
+
+    def test_no_instance(self):
+        # Consistent bound but no valid triple split: x=(1,3), y=(1,1), z=(1,1);
+        # bound=4; triples: 1+1+1=3≠4, 3+1+1=5≠4 → impossible.
+        instance = N3DMInstance((1, 3), (1, 1), (1, 1), bound=4)
+        assert instance.is_consistent()
+        assert find_matching(instance) is None
+
+    def test_inconsistent_bound_short_circuits(self):
+        assert find_matching(N3DMInstance((1,), (1,), (1,), bound=10)) is None
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_yes_instance_always_has_matching(self, n):
+        for seed in range(5):
+            instance = yes_instance(n, seed=seed)
+            assert instance.is_consistent()
+            matching = find_matching(instance)
+            assert matching is not None
+
+    def test_yes_instance_rejects_bad_n(self):
+        with pytest.raises(ValueError, match="n"):
+            yes_instance(0)
+
+    def test_random_instance_is_consistent(self):
+        for seed in range(5):
+            instance = random_instance(3, seed=seed)
+            assert instance.is_consistent()
+
+    def test_random_instances_include_both_answers(self):
+        answers = {find_matching(random_instance(2, seed=seed)) is not None for seed in range(30)}
+        assert answers == {True, False}

@@ -1,0 +1,74 @@
+"""Tests for the objective-structure analysis (paper Example 2)."""
+
+import pytest
+
+from repro.theory.properties import (
+    example2_instance,
+    find_monotonicity_violation,
+    find_submodularity_violation,
+    influence_function,
+    regret_gain_function,
+)
+from tests.conftest import make_random_instance
+
+
+class TestExample2:
+    def test_instance_shape(self):
+        instance = example2_instance()
+        assert instance.num_billboards == 4
+        assert instance.advertisers[0].demand == 10
+        # S1 = {b0}: influence 8; S2 = {b0, b1}: influence 9 — as in the paper.
+        assert instance.coverage.influence_of_set([0]) == 8
+        assert instance.coverage.influence_of_set([0, 1]) == 9
+        assert instance.coverage.influence_of_set([0, 1, 2]) == 10
+
+    def test_paper_arithmetic(self):
+        # With γ as in the example: R(S1) = 10 − 8γ, R(S2 ∪ o1) = 0,
+        # and adding o2 past the demand makes regret positive again.
+        instance = example2_instance()
+        gamma = instance.gamma
+        assert instance.regret_of(0, 8) == pytest.approx(10 - 8 * gamma * 10 / 10)
+        assert instance.regret_of(0, 10) == 0.0
+        assert instance.regret_of(0, 11) > 0.0
+
+    def test_regret_gain_is_not_monotone(self):
+        instance = example2_instance()
+        violation = find_monotonicity_violation(
+            regret_gain_function(instance), range(instance.num_billboards)
+        )
+        assert violation is not None
+        # The violation is exactly "adding a billboard past the demand".
+        achieved = instance.coverage.influence_of_set(violation.superset)
+        assert achieved > instance.advertisers[0].demand
+
+    def test_regret_gain_is_not_submodular(self):
+        instance = example2_instance()
+        violation = find_submodularity_violation(
+            regret_gain_function(instance), range(instance.num_billboards)
+        )
+        assert violation is not None
+        assert violation.gain_small < violation.gain_big
+
+
+class TestInfluenceIsWellBehaved:
+    """The contrast the paper draws: coverage influence itself is fine."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_influence_monotone(self, seed):
+        instance = make_random_instance(seed, num_billboards=5, num_trajectories=12)
+        assert (
+            find_monotonicity_violation(
+                influence_function(instance), range(instance.num_billboards)
+            )
+            is None
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_influence_submodular(self, seed):
+        instance = make_random_instance(seed, num_billboards=5, num_trajectories=12)
+        assert (
+            find_submodularity_violation(
+                influence_function(instance), range(instance.num_billboards)
+            )
+            is None
+        )

@@ -1,0 +1,81 @@
+"""Tests for the generic trajectory generators."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.bbox import BoundingBox
+from repro.trajectory.generators import (
+    random_walk_trajectories,
+    trips_between,
+    waypoint_trajectories,
+)
+
+BOX = BoundingBox(0.0, 0.0, 1_000.0, 1_000.0)
+
+
+class TestWaypointTrajectories:
+    def test_densifies_and_sets_travel_time(self):
+        db = waypoint_trajectories(
+            [np.array([[0.0, 0.0], [800.0, 0.0]])], sample_spacing=100.0, speed_mps=8.0
+        )
+        assert len(db) == 1
+        trajectory = db[0]
+        assert len(trajectory) >= 8
+        assert trajectory.travel_time == pytest.approx(100.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError, match="speed"):
+            waypoint_trajectories([np.array([[0.0, 0.0], [1.0, 1.0]])], speed_mps=0.0)
+
+    def test_multiple_trips_get_dense_ids(self):
+        db = waypoint_trajectories(
+            [np.array([[0.0, 0.0], [10.0, 0.0]]), np.array([[5.0, 5.0], [5.0, 50.0]])]
+        )
+        assert [t.trajectory_id for t in db] == [0, 1]
+
+
+class TestRandomWalks:
+    def test_count_and_bounds(self):
+        db = random_walk_trajectories(5, BOX, steps=10, step_length=50.0, seed=3)
+        assert len(db) == 5
+        points = db.all_points
+        assert points[:, 0].min() >= BOX.min_x
+        assert points[:, 0].max() <= BOX.max_x
+        assert points[:, 1].min() >= BOX.min_y
+        assert points[:, 1].max() <= BOX.max_y
+
+    def test_reproducible_by_seed(self):
+        a = random_walk_trajectories(3, BOX, seed=9)
+        b = random_walk_trajectories(3, BOX, seed=9)
+        assert np.array_equal(a.all_points, b.all_points)
+
+    def test_different_seeds_differ(self):
+        a = random_walk_trajectories(3, BOX, seed=1)
+        b = random_walk_trajectories(3, BOX, seed=2)
+        assert not np.array_equal(a.all_points, b.all_points)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="count"):
+            random_walk_trajectories(0, BOX)
+        with pytest.raises(ValueError, match="steps"):
+            random_walk_trajectories(1, BOX, steps=0)
+
+    def test_step_count(self):
+        db = random_walk_trajectories(1, BOX, steps=7, seed=5)
+        assert len(db[0]) == 8  # start + 7 steps
+
+
+class TestTripsBetween:
+    def test_router_is_applied(self):
+        def straight(origin, destination):
+            return np.vstack([origin, destination])
+
+        origins = np.array([[0.0, 0.0]])
+        destinations = np.array([[300.0, 400.0]])
+        db = trips_between(origins, destinations, straight, sample_spacing=50.0, speed_mps=10.0)
+        assert db[0].length == pytest.approx(500.0)
+        assert db[0].travel_time == pytest.approx(50.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="must match"):
+            trips_between(np.zeros((2, 2)), np.zeros((3, 2)), lambda o, d: np.vstack([o, d]))

@@ -1,0 +1,101 @@
+"""Tests for the trajectory data model (CSR storage, id discipline)."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.model import Trajectory, TrajectoryDB
+
+
+def make_db() -> TrajectoryDB:
+    return TrajectoryDB(
+        [
+            Trajectory(0, np.array([[0.0, 0.0], [100.0, 0.0]]), travel_time=20.0),
+            Trajectory(1, np.array([[5.0, 5.0]]), travel_time=0.0),
+            Trajectory(2, np.array([[0.0, 0.0], [0.0, 50.0], [50.0, 50.0]]), travel_time=30.0),
+        ]
+    )
+
+
+class TestTrajectory:
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            Trajectory(0, np.zeros((0, 2)))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            Trajectory(0, np.zeros((3, 3)))
+
+    def test_len_and_length(self):
+        trajectory = Trajectory(0, np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert len(trajectory) == 2
+        assert trajectory.length == pytest.approx(5.0)
+
+    def test_points_coerced_to_float(self):
+        trajectory = Trajectory(0, np.array([[1, 2], [3, 4]]))
+        assert trajectory.points.dtype == np.float64
+
+
+class TestTrajectoryDB:
+    def test_rejects_empty_db(self):
+        with pytest.raises(ValueError, match="at least one trajectory"):
+            TrajectoryDB([])
+
+    def test_rejects_non_dense_ids(self):
+        with pytest.raises(ValueError, match="dense"):
+            TrajectoryDB([Trajectory(1, np.array([[0.0, 0.0]]))])
+
+    def test_len_and_getitem(self):
+        db = make_db()
+        assert len(db) == 3
+        assert db[1].trajectory_id == 1
+        assert len(db[2]) == 3
+        assert db[0].travel_time == 20.0
+
+    def test_getitem_out_of_range(self):
+        db = make_db()
+        with pytest.raises(IndexError):
+            db[3]
+        with pytest.raises(IndexError):
+            db[-1]
+
+    def test_iteration_order(self):
+        db = make_db()
+        assert [t.trajectory_id for t in db] == [0, 1, 2]
+
+    def test_points_of_is_view(self):
+        db = make_db()
+        view = db.points_of(2)
+        assert view.shape == (3, 2)
+        assert view.base is db.all_points or view.base is db.all_points.base
+
+    def test_all_points_concatenation(self):
+        db = make_db()
+        assert db.all_points.shape == (6, 2)
+        assert np.array_equal(db.point_counts, [2, 1, 3])
+
+    def test_travel_times_vector(self):
+        db = make_db()
+        assert np.allclose(db.travel_times, [20.0, 0.0, 30.0])
+
+    def test_from_point_lists(self):
+        db = TrajectoryDB.from_point_lists(
+            [np.array([[0.0, 0.0]]), np.array([[1.0, 1.0], [2.0, 2.0]])],
+            travel_times=[1.0, 2.0],
+        )
+        assert len(db) == 2
+        assert db[1].travel_time == 2.0
+
+    def test_from_point_lists_default_travel_times(self):
+        db = TrajectoryDB.from_point_lists([np.array([[0.0, 0.0]])])
+        assert db[0].travel_time == 0.0
+
+    def test_from_point_lists_length_mismatch(self):
+        with pytest.raises(ValueError, match="travel times"):
+            TrajectoryDB.from_point_lists([np.array([[0.0, 0.0]])], travel_times=[1.0, 2.0])
+
+    def test_bounding_box_covers_all_points(self):
+        db = make_db()
+        box = db.bounding_box()
+        for point in db.all_points:
+            assert box.min_x <= point[0] <= box.max_x
+            assert box.min_y <= point[1] <= box.max_y

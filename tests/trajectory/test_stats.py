@@ -1,0 +1,32 @@
+"""Tests for the Table 5 trajectory statistics."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.model import Trajectory, TrajectoryDB
+from repro.trajectory.stats import summarize
+
+
+def test_summarize_simple_corpus():
+    db = TrajectoryDB(
+        [
+            Trajectory(0, np.array([[0.0, 0.0], [1_000.0, 0.0]]), travel_time=100.0),
+            Trajectory(1, np.array([[0.0, 0.0], [3_000.0, 0.0]]), travel_time=300.0),
+        ]
+    )
+    stats = summarize(db)
+    assert stats.count == 2
+    assert stats.avg_distance_m == pytest.approx(2_000.0)
+    assert stats.avg_travel_time_s == pytest.approx(200.0)
+    assert stats.avg_points == pytest.approx(2.0)
+
+
+def test_table5_row_formatting():
+    db = TrajectoryDB(
+        [Trajectory(0, np.array([[0.0, 0.0], [2_900.0, 0.0]]), travel_time=569.0)]
+    )
+    row = summarize(db).as_table5_row("NYC", 1462)
+    assert "NYC" in row
+    assert "|U|=1,462" in row
+    assert "2.9km" in row
+    assert "569s" in row
