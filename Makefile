@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench lint
+
+## Tier-1 test suite (also runs the benchmark script's smoke mode, see
+## tests/experiments/test_parallel_harness.py).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Seconds-fast benchmark pass on a tiny city — CI wiring for the full bench.
+bench-smoke:
+	$(PYTHON) scripts/bench_coverage.py --smoke --output /tmp/BENCH_coverage_smoke.json
+
+## Full coverage-kernel benchmark; rewrites BENCH_coverage.json at the root.
+bench:
+	$(PYTHON) scripts/bench_coverage.py --output BENCH_coverage.json
+
+## Syntax/bytecode gate over all Python sources (the container ships no
+## third-party linter, so this is a stdlib-only check).
+lint:
+	$(PYTHON) -m compileall -q src tests scripts examples

@@ -1,0 +1,204 @@
+"""Coverage-kernel benchmark: seed (id-array) vs packed-bitmap kernels.
+
+Times, on the default NYC-scale benchmark city:
+
+* **index build** — the seed's per-billboard grid-query loop vs the batched
+  cell-bucket join now used by :class:`CoverageIndex`;
+* **1k ``influence_of_set`` queries** — the seed ``np.unique(concatenate)``
+  id-array kernel vs the packed-bitmap OR/popcount kernel;
+* **a BLS cell** — the full billboard-driven local search solved with the
+  bitmap kernel disabled vs enabled (the ``influence_of_set``-heavy workload
+  of the paper's efficiency study).
+
+Writes ``BENCH_coverage.json`` — the repo's first perf-trajectory point.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_coverage.py            # full bench
+    PYTHONPATH=src python scripts/bench_coverage.py --smoke    # seconds-fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.billboard.influence import BITMAP_BUDGET_ENV, CoverageIndex
+from repro.billboard.model import BillboardDB
+from repro.experiments.harness import run_cell
+from repro.market.scenario import Scenario
+from repro.spatial.grid import GridIndex
+from repro.trajectory.model import TrajectoryDB
+from repro.utils.rng import as_generator
+
+
+def legacy_covered_lists(
+    billboards: BillboardDB, trajectories: TrajectoryDB, lambda_m: float
+) -> list[np.ndarray]:
+    """The seed repo's coverage build: one Python-level grid query per billboard."""
+    grid = GridIndex(trajectories.all_points, cell_size=lambda_m)
+    point_owner = np.repeat(
+        np.arange(len(trajectories), dtype=np.int64), trajectories.point_counts
+    )
+    covered = []
+    for billboard in billboards:
+        hits = grid.query_radius(billboard.location.x, billboard.location.y, lambda_m)
+        covered.append(np.unique(point_owner[hits]))
+    return covered
+
+
+def bench_build(scenario: Scenario, repeats: int = 3) -> tuple[dict, CoverageIndex]:
+    """Best-of-``repeats`` timings so first-call overheads don't skew either side."""
+    city = scenario.build_city()
+    legacy_s = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        legacy = legacy_covered_lists(
+            city.billboards, city.trajectories, scenario.lambda_m
+        )
+        legacy_s = min(legacy_s, time.perf_counter() - started)
+
+    vectorized_s = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        index = CoverageIndex(
+            city.billboards, city.trajectories, lambda_m=scenario.lambda_m
+        )
+        vectorized_s = min(vectorized_s, time.perf_counter() - started)
+
+    for billboard_id in range(index.num_billboards):
+        assert np.array_equal(legacy[billboard_id], index.covered_by(billboard_id)), (
+            f"vectorized join disagrees with legacy build at billboard {billboard_id}"
+        )
+    return {
+        "legacy_loop_s": legacy_s,
+        "vectorized_join_s": vectorized_s,
+        "speedup": legacy_s / vectorized_s if vectorized_s > 0 else float("inf"),
+        "note": "legacy loop also runs on the rewritten CSR grid, so this "
+        "under-reports the gain over the seed's dict-of-cells grid",
+    }, index
+
+
+def bench_influence_queries(index: CoverageIndex, num_queries: int, seed: int = 0) -> dict:
+    rng = as_generator(seed)
+    max_set = max(2, min(50, index.num_billboards))
+    query_sets = [
+        rng.choice(
+            index.num_billboards, size=int(rng.integers(1, max_set)), replace=False
+        ).tolist()
+        for _ in range(num_queries)
+    ]
+    assert index.has_bitmap, "bitmap kernel unavailable — raise REPRO_BITMAP_BUDGET_MB"
+
+    started = time.perf_counter()
+    ids_answers = [index.influence_of_set_ids(s) for s in query_sets]
+    ids_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    bitmap_answers = [index.influence_of_set(s) for s in query_sets]
+    bitmap_s = time.perf_counter() - started
+
+    assert ids_answers == bitmap_answers, "bitmap kernel disagrees with id kernel"
+    return {
+        "queries": num_queries,
+        "id_array_s": ids_s,
+        "bitmap_s": bitmap_s,
+        "speedup": ids_s / bitmap_s if bitmap_s > 0 else float("inf"),
+    }
+
+
+def bench_bls_cell(scenario: Scenario, restarts: int) -> dict:
+    """One BLS cell solved with the bitmap kernel off vs on.
+
+    Fresh cities per mode so no coverage cache leaks across the comparison;
+    the regret outcome must be identical (the kernels are bit-identical).
+    """
+    timings = {}
+    regrets = {}
+    for label, budget in (("id_array_s", "0"), ("bitmap_s", "")):
+        previous = os.environ.get(BITMAP_BUDGET_ENV)
+        if budget:
+            os.environ[BITMAP_BUDGET_ENV] = budget
+        else:
+            os.environ.pop(BITMAP_BUDGET_ENV, None)
+        try:
+            city = scenario.build_city()
+            instance = scenario.build_instance(city)
+            started = time.perf_counter()
+            metrics = run_cell(
+                scenario, methods=["bls"], restarts=restarts, instance=instance
+            )
+            timings[label] = time.perf_counter() - started
+            regrets[label] = metrics["bls"].total_regret
+        finally:
+            if previous is None:
+                os.environ.pop(BITMAP_BUDGET_ENV, None)
+            else:
+                os.environ[BITMAP_BUDGET_ENV] = previous
+    assert regrets["id_array_s"] == regrets["bitmap_s"], (
+        "BLS reached different regret under the two kernels"
+    )
+    return {
+        **timings,
+        "total_regret": regrets["bitmap_s"],
+        "restarts": restarts,
+        "speedup": timings["id_array_s"] / timings["bitmap_s"]
+        if timings["bitmap_s"] > 0
+        else float("inf"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny city + few queries (CI wiring)"
+    )
+    parser.add_argument("--output", default="BENCH_coverage.json")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scenario = Scenario(
+            dataset="nyc", n_billboards=60, n_trajectories=400, seed=args.seed
+        )
+        num_queries, restarts = 100, 1
+    else:
+        scenario = Scenario(
+            dataset="nyc", n_billboards=800, n_trajectories=8_000, seed=args.seed
+        )
+        num_queries, restarts = 1_000, 1
+
+    build, index = bench_build(scenario)
+    queries = bench_influence_queries(index, num_queries, seed=args.seed)
+    bls = bench_bls_cell(scenario, restarts)
+
+    report = {
+        "benchmark": "coverage-kernel",
+        "smoke": bool(args.smoke),
+        "scenario": {
+            "dataset": scenario.dataset,
+            "n_billboards": scenario.n_billboards,
+            "n_trajectories": scenario.n_trajectories,
+            "lambda_m": scenario.lambda_m,
+            "seed": scenario.seed,
+        },
+        "machine": {"python": platform.python_version(), "numpy": np.__version__},
+        "build": build,
+        "influence_of_set": queries,
+        "bls_cell": bls,
+    }
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,7 +52,11 @@ def best_marginal_billboard(
     candidate_ids = candidate_ids[usable]
     individual = individual[usable]
 
-    gains = coverage.batch_add_gains(allocation.counts_row(advertiser_id))[candidate_ids]
+    masks = allocation.packed_masks(advertiser_id)
+    gains = coverage.batch_add_gains(
+        allocation.counts_row(advertiser_id),
+        free_bits=masks[0] if masks is not None else None,
+    )[candidate_ids]
     current_influence = allocation.influence(advertiser_id)
     current_regret = instance.regret_of(advertiser_id, current_influence)
     new_regrets = regret_values(

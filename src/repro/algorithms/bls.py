@@ -61,23 +61,20 @@ def _partner_swap_delta(
     """Exact influence change of advertiser ``partner_id`` losing
     ``lost_billboard`` and gaining ``gained_billboard``.
 
-    Same arithmetic as :func:`repro.core.moves._swap_influence_delta`, inlined
-    here because the partner side is the only per-candidate exact work left in
-    the exchange scan.
+    Delegates to :meth:`CoverageIndex.swap_delta` — on the packed bitmap
+    kernel the partner side of the exchange scan is two masked popcounts fed
+    by the allocation's cached ``counts == 0`` / ``counts == 1`` bitmasks.
     """
     coverage = allocation.instance.coverage
-    counts = allocation.counts_row(partner_id)
-    cov_lost = coverage.covered_by(lost_billboard)
-    cov_gained = coverage.covered_by(gained_billboard)
-    loss = int(np.count_nonzero(counts[cov_lost] == 1))
-    if len(cov_lost):
-        positions = np.searchsorted(cov_lost, cov_gained)
-        positions[positions == len(cov_lost)] = len(cov_lost) - 1
-        in_lost = (cov_lost[positions] == cov_gained).astype(np.int32)
-    else:
-        in_lost = np.zeros(len(cov_gained), dtype=np.int32)
-    gain = int(np.count_nonzero(counts[cov_gained] - in_lost == 0))
-    return gain - loss
+    masks = allocation.packed_masks(partner_id)
+    free_bits, ones_bits = masks if masks is not None else (None, None)
+    return coverage.swap_delta(
+        lost_billboard,
+        gained_billboard,
+        allocation.counts_row(partner_id),
+        free_bits=free_bits,
+        ones_bits=ones_bits,
+    )
 
 
 def _find_improving_exchange(
@@ -108,7 +105,11 @@ def _find_improving_exchange(
     allocation.release(billboard_id)
     try:
         released_influence = float(allocation.influence(advertiser_id))
-        gains = coverage.batch_add_gains(allocation.counts_row(advertiser_id))
+        masks = allocation.packed_masks(advertiser_id)
+        gains = coverage.batch_add_gains(
+            allocation.counts_row(advertiser_id),
+            free_bits=masks[0] if masks is not None else None,
+        )
 
         owners = allocation.owners
         candidates = np.arange(instance.num_billboards)

@@ -8,12 +8,33 @@ lies within ``λ`` metres of billboard ``o``.  The influence of a billboard set
     I(S) = |{t : some o ∈ S meets t}|
 
 so influence is a set-coverage count.  :class:`CoverageIndex` materializes the
-per-billboard covered-trajectory id arrays once (a grid-accelerated radius
-join) and answers all influence queries from them.
+per-billboard covered-trajectory id arrays once (a grid-accelerated bulk
+radius join) and answers all influence queries from them.
+
+Two kernels answer the queries:
+
+* the **id-array kernel** — sorted ``int64`` covered-trajectory arrays, the
+  always-available representation;
+* the **packed-bitmap kernel** — a ``(num_billboards, ceil(T/64))`` ``uint64``
+  matrix where bit ``t`` of row ``o`` says billboard ``o`` covers trajectory
+  ``t``.  Union influence becomes bitwise-OR + popcount and the batch
+  gain/loss and swap-delta passes become single masked popcounts.  The bitmap
+  is built lazily and only when it fits the memory budget
+  (``bitmap_budget_mb`` argument, ``REPRO_BITMAP_BUDGET_MB`` environment
+  variable, default 512 MB); past the budget every query transparently falls
+  back to the id-array kernel, so results are bit-identical either way.
+
+The two kernels are *bit-identical*, so each query dispatches to whichever
+is cheaper for its actual operand sizes: union influence always prefers the
+bitmap (popcount beats sort-based dedup), while the batch and swap passes
+compare the words they would touch (``rows × ceil(T/64)``) against the
+number of covered ids the id-array pass would gather — on sparse coverage
+the id arrays win, on dense coverage the bitmap does.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -22,6 +43,50 @@ from repro.billboard.model import BillboardDB
 from repro.spatial.geometry import min_distance_to_polyline
 from repro.spatial.grid import GridIndex
 from repro.trajectory.model import TrajectoryDB
+from repro.utils import bitset
+
+#: Environment variable holding the bitmap memory budget in megabytes.
+BITMAP_BUDGET_ENV = "REPRO_BITMAP_BUDGET_MB"
+
+#: Default bitmap memory budget (megabytes) when neither the constructor
+#: argument nor the environment variable is set.
+DEFAULT_BITMAP_BUDGET_MB = 512.0
+
+#: Rows of the dense boolean staging block used while packing the bitmap are
+#: chunked so staging memory stays below this many bytes.
+_PACK_CHUNK_BYTES = 64 * 1024 * 1024
+
+
+def _resolve_bitmap_budget_mb(bitmap_budget_mb: float | None) -> float:
+    if bitmap_budget_mb is not None:
+        return float(bitmap_budget_mb)
+    raw = os.environ.get(BITMAP_BUDGET_ENV)
+    if raw is not None:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{BITMAP_BUDGET_ENV} must be a number of megabytes, got {raw!r}"
+            ) from None
+    return DEFAULT_BITMAP_BUDGET_MB
+
+
+def _max_sample_gap(trajectories: TrajectoryDB) -> float:
+    """Largest distance between consecutive samples of any trajectory.
+
+    One vectorized pass over the flat point store: consecutive-point
+    distances are computed for the whole corpus at once and the diffs that
+    straddle a trajectory boundary are masked out.
+    """
+    points = trajectories.all_points
+    if len(points) < 2:
+        return 0.0
+    gaps = np.sqrt(np.sum(np.diff(points, axis=0) ** 2, axis=1))
+    boundaries = np.cumsum(trajectories.point_counts)[:-1] - 1
+    within = np.ones(len(gaps), dtype=bool)
+    within[boundaries] = False
+    gaps = gaps[within]
+    return float(gaps.max()) if gaps.size else 0.0
 
 
 class CoverageIndex:
@@ -33,6 +98,13 @@ class CoverageIndex:
         The host's inventory and the audience corpus.
     lambda_m:
         Influence radius ``λ`` in metres (paper default 100 m).
+    exact_segments:
+        Upgrade the meet test from the paper's sampled ``p(o, t)`` to the
+        trajectory polyline coming within ``λ``.
+    bitmap_budget_mb:
+        Memory budget for the packed-bitmap kernel; ``None`` reads
+        ``REPRO_BITMAP_BUDGET_MB`` (default 512).  A non-positive budget
+        disables the bitmap entirely.
 
     Notes
     -----
@@ -47,44 +119,46 @@ class CoverageIndex:
         trajectories: TrajectoryDB,
         lambda_m: float = 100.0,
         exact_segments: bool = False,
+        bitmap_budget_mb: float | None = None,
     ) -> None:
         if lambda_m <= 0:
             raise ValueError(f"lambda_m must be positive, got {lambda_m}")
         self.lambda_m = float(lambda_m)
         self.num_billboards = len(billboards)
         self.num_trajectories = len(trajectories)
+        self._init_caches(bitmap_budget_mb)
 
         # Billboard-centric radius join: index all trajectory points once,
-        # then one grid query per billboard.  The inventory is thousands of
-        # billboards while the corpus has millions of points, so this
-        # direction keeps the Python-level loop on the small side.
+        # then one batched cell-bucket join for the whole inventory (no
+        # per-billboard Python loop — see GridIndex.join_radius).
         #
         # ``exact_segments`` upgrades the meet test from the paper's sampled
         # p(o, t) (some recorded point within λ) to the trajectory's actual
         # polyline coming within λ — the grid query is widened by half the
         # largest sample gap so no segment-only meet can be missed, then the
         # candidates are confirmed against the exact segment distance.
-        margin = 0.0
-        if exact_segments:
-            gaps = [
-                float(np.sqrt(np.sum(np.diff(trajectories.points_of(t), axis=0) ** 2, axis=1)).max())
-                for t in range(len(trajectories))
-                if len(trajectories.points_of(t)) > 1
-            ]
-            margin = max(gaps) / 2.0 if gaps else 0.0
+        margin = _max_sample_gap(trajectories) / 2.0 if exact_segments else 0.0
         grid = GridIndex(trajectories.all_points, cell_size=lambda_m)
         point_owner = np.repeat(
             np.arange(len(trajectories), dtype=np.int64), trajectories.point_counts
         )
-        covered: list[np.ndarray] = []
-        for billboard in billboards:
-            hits = grid.query_radius(
-                billboard.location.x, billboard.location.y, lambda_m + margin
-            )
-            candidates = np.unique(point_owner[hits])
-            if exact_segments:
-                location = billboard.location.as_array()
-                candidates = np.array(
+        billboard_ids, point_ids = grid.join_radius(
+            billboards.locations, lambda_m + margin
+        )
+        # Deduplicate (billboard, trajectory) pairs in one pass: the sorted
+        # unique composite keys split into per-billboard sorted id arrays.
+        keys = np.unique(billboard_ids * self.num_trajectories + point_owner[point_ids])
+        owners = keys // self.num_trajectories
+        covered_ids = keys % self.num_trajectories
+        split_at = np.searchsorted(owners, np.arange(1, self.num_billboards))
+        covered = [np.ascontiguousarray(ids) for ids in np.split(covered_ids, split_at)]
+        if exact_segments:
+            locations = billboards.locations
+            for billboard_id, candidates in enumerate(covered):
+                if not len(candidates):
+                    continue
+                location = locations[billboard_id]
+                covered[billboard_id] = np.array(
                     [
                         t
                         for t in candidates
@@ -93,9 +167,15 @@ class CoverageIndex:
                     ],
                     dtype=np.int64,
                 )
-            covered.append(candidates)
         self._covered = covered
         self._individual = np.array([len(ids) for ids in covered], dtype=np.int64)
+
+    def _init_caches(self, bitmap_budget_mb: float | None) -> None:
+        self._bitmap_budget_mb = _resolve_bitmap_budget_mb(bitmap_budget_mb)
+        self._bitmap: np.ndarray | None = None
+        self._bitmap_decided = False
+        self._batch_prefers_bitmap: bool | None = None
+        self._flat_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_coverage_lists(
@@ -103,6 +183,7 @@ class CoverageIndex:
         covered: Sequence[Sequence[int]],
         num_trajectories: int,
         lambda_m: float = 100.0,
+        bitmap_budget_mb: float | None = None,
     ) -> "CoverageIndex":
         """Build an index directly from coverage lists (no geometry).
 
@@ -114,6 +195,7 @@ class CoverageIndex:
         index.lambda_m = float(lambda_m)
         index.num_billboards = len(covered)
         index.num_trajectories = int(num_trajectories)
+        index._init_caches(bitmap_budget_mb)
         arrays = []
         for billboard_id, ids in enumerate(covered):
             array = np.unique(np.asarray(list(ids), dtype=np.int64))
@@ -127,6 +209,36 @@ class CoverageIndex:
         index._individual = np.array([len(a) for a in arrays], dtype=np.int64)
         return index
 
+    @classmethod
+    def from_flat_arrays(
+        cls,
+        flat_ids: np.ndarray,
+        offsets: np.ndarray,
+        num_trajectories: int,
+        lambda_m: float = 100.0,
+        bitmap_budget_mb: float | None = None,
+    ) -> "CoverageIndex":
+        """Rebuild an index from its CSR serialization (see :meth:`to_arrays`).
+
+        The arrays are trusted (sorted, deduplicated, in range) — this is the
+        fast path the on-disk coverage cache uses.
+        """
+        flat_ids = np.ascontiguousarray(flat_ids, dtype=np.int64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        index = cls.__new__(cls)
+        index.lambda_m = float(lambda_m)
+        index.num_billboards = len(offsets) - 1
+        index.num_trajectories = int(num_trajectories)
+        index._init_caches(bitmap_budget_mb)
+        index._covered = list(np.split(flat_ids, offsets[1:-1]))
+        index._individual = np.diff(offsets)
+        index._flat_cache = (flat_ids, offsets)
+        return index
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(flat_ids, offsets)`` CSR serialization of the coverage."""
+        return self._flat_coverage()
+
     def covered_by(self, billboard_id: int) -> np.ndarray:
         """Sorted trajectory ids covered by one billboard (no copy)."""
         return self._covered[billboard_id]
@@ -139,7 +251,7 @@ class CoverageIndex:
         computation the greedy solvers use to price every candidate billboard
         in one vectorized pass.
         """
-        cached = getattr(self, "_flat_cache", None)
+        cached = self._flat_cache
         if cached is None:
             counts = np.array([len(a) for a in self._covered], dtype=np.int64)
             offsets = np.concatenate([[0], np.cumsum(counts)])
@@ -151,13 +263,103 @@ class CoverageIndex:
             self._flat_cache = cached
         return cached
 
-    def batch_add_gains(self, counts_row: np.ndarray) -> np.ndarray:
+    # ------------------------------------------------------------ bitmap kernel
+
+    @property
+    def bitmap_words(self) -> int:
+        """Words per bitmap row: ``ceil(num_trajectories / 64)``."""
+        return bitset.num_words(self.num_trajectories)
+
+    def bitmap_bytes(self) -> int:
+        """Memory the packed bitmap needs (whether or not it is built)."""
+        return self.num_billboards * self.bitmap_words * 8
+
+    @property
+    def has_bitmap(self) -> bool:
+        """Whether the packed-bitmap kernel is available (builds it lazily)."""
+        return self._ensure_bitmap() is not None
+
+    def _ensure_bitmap(self) -> np.ndarray | None:
+        if not self._bitmap_decided:
+            self._bitmap_decided = True
+            budget_bytes = self._bitmap_budget_mb * 1024 * 1024
+            if self._bitmap_budget_mb > 0 and self.bitmap_bytes() <= budget_bytes:
+                self._bitmap = self._build_bitmap()
+        return self._bitmap
+
+    def _build_bitmap(self) -> np.ndarray:
+        words = self.bitmap_words
+        bitmap = np.zeros((self.num_billboards, words), dtype=bitset.WORD_DTYPE)
+        if self.num_trajectories == 0 or self.num_billboards == 0:
+            return bitmap
+        flat, offsets = self._flat_coverage()
+        # Stage dense boolean rows in chunks and pack each chunk, keeping the
+        # staging block bounded regardless of corpus size.
+        rows_per_chunk = max(1, _PACK_CHUNK_BYTES // max(self.num_trajectories, 1))
+        for start in range(0, self.num_billboards, rows_per_chunk):
+            stop = min(start + rows_per_chunk, self.num_billboards)
+            counts = np.diff(offsets[start : stop + 1])
+            dense = np.zeros((stop - start, self.num_trajectories), dtype=bool)
+            row_ids = np.repeat(np.arange(stop - start), counts)
+            dense[row_ids, flat[offsets[start] : offsets[stop]]] = True
+            bitmap[start:stop] = bitset.pack_bits(dense)
+        return bitmap
+
+    def bits_of(self, billboard_id: int) -> np.ndarray | None:
+        """Packed coverage row of one billboard, or ``None`` without bitmap."""
+        bitmap = self._ensure_bitmap()
+        if bitmap is None:
+            return None
+        return bitmap[billboard_id]
+
+    @property
+    def batch_prefers_bitmap(self) -> bool:
+        """Whether the bitmap beats the id arrays for whole-matrix passes.
+
+        The bitmap pass popcounts ``num_billboards × bitmap_words`` words no
+        matter how sparse the coverage is; the id-array pass touches one entry
+        per covered id.  On sparse coverage (few covered trajectories per
+        billboard) the id arrays are strictly less work, so the batch passes
+        only take the bitmap when the flat id count exceeds the word count.
+        Callers maintaining packed counter masks use this to skip packing
+        masks the batch passes would never read.
+        """
+        if self._batch_prefers_bitmap is None:
+            flat, _ = self._flat_coverage()
+            self._batch_prefers_bitmap = (
+                len(flat) > self.num_billboards * self.bitmap_words
+            )
+        return self._batch_prefers_bitmap
+
+    def bitmap_profitable_for(self, *billboard_ids: int) -> bool:
+        """Whether the bitmap wins a per-row (single/swap) delta query.
+
+        The bitmap side costs a handful of full-row word ops (ANDs +
+        popcounts); the id side gathers one entry per covered id of the rows
+        involved.  ``4×`` words approximates the bitmap's constant factor.
+        """
+        ids = sum(int(self._individual[b]) for b in billboard_ids)
+        return ids > 4 * self.bitmap_words
+
+    # ------------------------------------------------------------ batch passes
+
+    def batch_add_gains(
+        self, counts_row: np.ndarray, free_bits: np.ndarray | None = None
+    ) -> np.ndarray:
         """Marginal influence of adding *each* billboard to a set.
 
         Given an advertiser's multiplicity counter row, returns the vector
         ``g`` with ``g[b] = |{t ∈ cov(b) : counts_row[t] == 0}|`` for every
-        billboard ``b``, in one vectorized pass over the flat coverage.
+        billboard ``b``.  With the bitmap kernel this is one masked popcount
+        over the whole matrix; ``free_bits`` (the packed ``counts_row == 0``
+        mask) can be supplied by callers that maintain it incrementally.
         """
+        if self.batch_prefers_bitmap:
+            bitmap = self._ensure_bitmap()
+            if bitmap is not None:
+                if free_bits is None:
+                    free_bits = bitset.pack_bits(counts_row == 0)
+                return bitset.popcount(bitmap & free_bits).sum(axis=1).astype(np.int64)
         flat, offsets = self._flat_coverage()
         if len(flat) == 0:
             return np.zeros(self.num_billboards, dtype=np.int64)
@@ -165,18 +367,81 @@ class CoverageIndex:
         cumulative = np.concatenate([[0], np.cumsum(mask)])
         return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
 
-    def batch_remove_losses(self, counts_row: np.ndarray) -> np.ndarray:
+    def batch_remove_losses(
+        self, counts_row: np.ndarray, ones_bits: np.ndarray | None = None
+    ) -> np.ndarray:
         """Influence lost by removing *each* billboard from a set.
 
         ``l[b] = |{t ∈ cov(b) : counts_row[t] == 1}|``; only meaningful for
-        billboards actually in the set, but computed for all.
+        billboards actually in the set, but computed for all.  ``ones_bits``
+        is the packed ``counts_row == 1`` mask (optional, bitmap path only).
         """
+        if self.batch_prefers_bitmap:
+            bitmap = self._ensure_bitmap()
+            if bitmap is not None:
+                if ones_bits is None:
+                    ones_bits = bitset.pack_bits(counts_row == 1)
+                return bitset.popcount(bitmap & ones_bits).sum(axis=1).astype(np.int64)
         flat, offsets = self._flat_coverage()
         if len(flat) == 0:
             return np.zeros(self.num_billboards, dtype=np.int64)
         mask = (counts_row[flat] == 1).astype(np.int64)
         cumulative = np.concatenate([[0], np.cumsum(mask)])
         return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+
+    def swap_delta(
+        self,
+        removed_billboard: int,
+        added_billboard: int,
+        counts_row: np.ndarray,
+        free_bits: np.ndarray | None = None,
+        ones_bits: np.ndarray | None = None,
+    ) -> int:
+        """Exact influence change of one advertiser that loses
+        ``removed_billboard`` and gains ``added_billboard`` in the same move.
+
+        With ``c`` the advertiser's counters, ``cov_r``/``cov_a`` the two
+        coverage sets::
+
+            loss = |{t ∈ cov_r : c[t] == 1}|
+            gain = |{t ∈ cov_a : c[t] − [t ∈ cov_r] == 0}|
+
+        A trajectory covered only by the removed billboard but re-covered by
+        the added one contributes to both terms and cancels, which is correct.
+        On the bitmap kernel both terms are masked popcounts; ``free_bits`` /
+        ``ones_bits`` are the packed ``c == 0`` / ``c == 1`` masks (packed on
+        demand when omitted).
+        """
+        bitmap = (
+            self._ensure_bitmap()
+            if self.bitmap_profitable_for(removed_billboard, added_billboard)
+            else None
+        )
+        if bitmap is not None:
+            row_removed = bitmap[removed_billboard]
+            row_added = bitmap[added_billboard]
+            if free_bits is None:
+                free_bits = bitset.pack_bits(counts_row == 0)
+            if ones_bits is None:
+                ones_bits = bitset.pack_bits(counts_row == 1)
+            loss = bitset.popcount_total(row_removed & ones_bits)
+            gain = bitset.popcount_total(
+                row_added & free_bits & ~row_removed
+            ) + bitset.popcount_total(row_added & row_removed & ones_bits)
+            return gain - loss
+        cov_removed = self._covered[removed_billboard]
+        cov_added = self._covered[added_billboard]
+        loss = int(np.count_nonzero(counts_row[cov_removed] == 1))
+        if len(cov_removed):
+            positions = np.searchsorted(cov_removed, cov_added)
+            positions[positions == len(cov_removed)] = len(cov_removed) - 1
+            in_removed = (cov_removed[positions] == cov_added).astype(counts_row.dtype)
+        else:
+            in_removed = np.zeros(len(cov_added), dtype=counts_row.dtype)
+        gain = int(np.count_nonzero(counts_row[cov_added] - in_removed == 0))
+        return gain - loss
+
+    # -------------------------------------------------------------- influence
 
     @property
     def individual_influences(self) -> np.ndarray:
@@ -188,7 +453,22 @@ class CoverageIndex:
         return int(self._individual[billboard_id])
 
     def influence_of_set(self, billboard_ids: Iterable[int]) -> int:
-        """``I(S)``: number of distinct trajectories covered by the set."""
+        """``I(S)``: number of distinct trajectories covered by the set.
+
+        Uses the packed-bitmap kernel (bitwise-OR + popcount) when it fits the
+        memory budget, the id-array kernel otherwise — both bit-identical.
+        """
+        bitmap = self._ensure_bitmap()
+        if bitmap is None:
+            return self.influence_of_set_ids(billboard_ids)
+        ids = np.fromiter((int(b) for b in billboard_ids), dtype=np.int64)
+        if len(ids) == 0:
+            return 0
+        union = np.bitwise_or.reduce(bitmap[ids], axis=0)
+        return bitset.popcount_total(union)
+
+    def influence_of_set_ids(self, billboard_ids: Iterable[int]) -> int:
+        """``I(S)`` via the sorted-id-array kernel (always available)."""
         arrays = [self._covered[int(b)] for b in billboard_ids]
         arrays = [a for a in arrays if len(a)]
         if not arrays:

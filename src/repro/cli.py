@@ -55,6 +55,12 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         default="g-order,g-global,als,bls",
         help="comma-separated method names",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the methods × values task grid (default serial)",
+    )
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -74,7 +80,9 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
 def _cmd_cell(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     methods = args.methods.split(",")
-    metrics = run_cell(scenario, methods=methods, restarts=args.restarts)
+    metrics = run_cell(
+        scenario, methods=methods, restarts=args.restarts, workers=args.workers
+    )
     print(f"cell: {scenario}")
     for method, cell in metrics.items():
         print(
@@ -90,7 +98,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     values = _SWEEP_VALUES[args.parameter]
     methods = args.methods.split(",")
-    result = sweep(scenario, args.parameter, values, methods=methods, restarts=args.restarts)
+    result = sweep(
+        scenario,
+        args.parameter,
+        values,
+        methods=methods,
+        restarts=args.restarts,
+        workers=args.workers,
+    )
     fmt = _SWEEP_FORMATS[args.parameter]
     print(format_regret_table(result, f"{args.dataset.upper()} — sweep over {args.parameter}", fmt))
     print()

@@ -11,18 +11,7 @@ multiplicity counters and the sorted covered-trajectory arrays.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.allocation import UNASSIGNED, Allocation
-
-
-def _isin_sorted(values: np.ndarray, sorted_array: np.ndarray) -> np.ndarray:
-    """Membership of ``values`` in a sorted id array (boolean mask)."""
-    if len(sorted_array) == 0:
-        return np.zeros(len(values), dtype=bool)
-    positions = np.searchsorted(sorted_array, values)
-    positions = np.clip(positions, 0, len(sorted_array) - 1)
-    return sorted_array[positions] == values
 
 
 def _regret_at(allocation: Allocation, advertiser_id: int, influence: int) -> float:
@@ -69,15 +58,21 @@ def _swap_influence_delta(
 
     A trajectory covered only by the removed billboard but re-covered by the
     added one contributes to both terms and cancels, which is correct.
+
+    The arithmetic lives in :meth:`CoverageIndex.swap_delta`; on the packed
+    bitmap kernel both terms are masked popcounts fed by the allocation's
+    incrementally maintained ``counts == 0`` / ``counts == 1`` bitmasks.
     """
     coverage = allocation.instance.coverage
-    counts = allocation.counts_row(advertiser_id)
-    cov_removed = coverage.covered_by(removed_billboard)
-    cov_added = coverage.covered_by(added_billboard)
-    loss = int(np.count_nonzero(counts[cov_removed] == 1))
-    in_removed = _isin_sorted(cov_added, cov_removed)
-    gain = int(np.count_nonzero(counts[cov_added] - in_removed.astype(np.int32) == 0))
-    return gain - loss
+    masks = allocation.packed_masks(advertiser_id)
+    free_bits, ones_bits = masks if masks is not None else (None, None)
+    return coverage.swap_delta(
+        removed_billboard,
+        added_billboard,
+        allocation.counts_row(advertiser_id),
+        free_bits=free_bits,
+        ones_bits=ones_bits,
+    )
 
 
 def delta_exchange_billboards(

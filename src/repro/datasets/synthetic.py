@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.billboard import coverage_cache
 from repro.billboard.influence import CoverageIndex
 from repro.billboard.model import BillboardDB
 from repro.spatial.bbox import BoundingBox
@@ -18,7 +19,12 @@ class CityDataset:
 
     Coverage indices are cached per ``λ`` so a parameter sweep over ``λ``
     (Figure 12) or repeated instance builds at the default ``λ`` do not
-    recompute the radius join.
+    recompute the radius join.  When the ``REPRO_COVERAGE_CACHE`` environment
+    variable names a directory, indices are additionally cached *on disk*
+    keyed by a content fingerprint (see
+    :mod:`repro.billboard.coverage_cache`), so even a fresh process — or a
+    parallel sweep worker — never recomputes coverage for an unchanged
+    (city, λ) cell.
     """
 
     name: str
@@ -30,7 +36,7 @@ class CityDataset:
         """The coverage index at influence radius ``λ`` (cached per mode)."""
         key = (float(lambda_m), exact_segments)
         if key not in self._coverage_cache:
-            self._coverage_cache[key] = CoverageIndex(
+            self._coverage_cache[key] = coverage_cache.get_or_build(
                 self.billboards,
                 self.trajectories,
                 lambda_m=float(lambda_m),

@@ -4,10 +4,20 @@
 ``sweep`` varies one parameter while holding the rest at the scenario's
 values, reusing a single generated city across the sweep (so coverage is
 recomputed only when λ changes, exactly as a real host's data would be).
+
+Both accept ``workers=N`` to fan the (sweep value × method) task grid out
+across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker
+process receives the city once (pool initializer), keeps its own per-λ
+coverage cache across tasks, and — with ``REPRO_COVERAGE_CACHE`` set —
+shares one on-disk coverage cache with every other worker.  Solvers are
+deterministic given ``(instance, solver_seed)`` and tasks are reassembled in
+sweep order, so the parallel path returns exactly the serial path's regret
+metrics; only the measured wall-clock times differ.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -41,6 +51,75 @@ def _solver_kwargs(method: str, restarts: int) -> dict:
     return {}
 
 
+def _run_method(
+    method: str,
+    instance: MROAMInstance,
+    restarts: int,
+    solver_seed: int,
+    runtime_repeats: int,
+) -> CellMetrics:
+    """One (instance, method) execution — the unit of parallel work."""
+    solver = make_solver(method, seed=solver_seed, **_solver_kwargs(method, restarts))
+    first = solver.solve(instance)
+    metrics = CellMetrics.from_result(method, first)
+    if runtime_repeats > 1:
+        runtimes = [first.runtime_s]
+        for _ in range(1, runtime_repeats):
+            repeat_solver = make_solver(
+                method, seed=solver_seed, **_solver_kwargs(method, restarts)
+            )
+            runtimes.append(repeat_solver.solve(instance).runtime_s)
+        metrics = replace(metrics, runtime_s=sum(runtimes) / len(runtimes))
+    return metrics
+
+
+# Worker-process state, populated once per process by the pool initializer so
+# the city (and its coverage caches) ship to each worker exactly once.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(scenario: Scenario, city: CityDataset | None) -> None:
+    _WORKER_STATE["scenario"] = scenario
+    _WORKER_STATE["city"] = city if city is not None else scenario.build_city()
+
+
+def _worker_run(task: tuple) -> tuple:
+    parameter, value, method, restarts, solver_seed, runtime_repeats = task
+    scenario: Scenario = _WORKER_STATE["scenario"]
+    city: CityDataset = _WORKER_STATE["city"]
+    if parameter is not None:
+        scenario = scenario.with_params(**{parameter: value})
+    instance = scenario.build_instance(city)
+    metrics = _run_method(method, instance, restarts, solver_seed, runtime_repeats)
+    return value, method, metrics
+
+
+def _run_parallel(
+    scenario: Scenario,
+    city: CityDataset | None,
+    tasks: list[tuple],
+    workers: int,
+) -> dict[tuple, CellMetrics]:
+    """Fan tasks out across worker processes; results keyed ``(value, method)``.
+
+    ``Executor.map`` preserves submission order, so assembly is deterministic
+    regardless of completion order.
+    """
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init, initargs=(scenario, city)
+    ) as pool:
+        completed = pool.map(_worker_run, tasks, chunksize=1)
+        return {(value, method): metrics for value, method, metrics in completed}
+
+
+def _check_workers(workers: int | None) -> int:
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
 def run_cell(
     scenario: Scenario,
     city: CityDataset | None = None,
@@ -49,32 +128,33 @@ def run_cell(
     solver_seed: int = 0,
     instance: MROAMInstance | None = None,
     runtime_repeats: int = 1,
+    workers: int | None = None,
 ) -> dict[str, CellMetrics]:
     """Run each method on one cell; returns ``{method: CellMetrics}``.
 
     ``runtime_repeats > 1`` re-runs each solver and reports the mean
     wall-clock time (the paper's efficiency study averages five runs); the
-    regret metrics come from the first run.
+    regret metrics come from the first run.  ``workers > 1`` fans the methods
+    out across processes (regret metrics identical to the serial path); a
+    pre-built ``instance`` pins the cell to the serial path since workers
+    rebuild the instance from the scenario.
     """
     if runtime_repeats < 1:
         raise ValueError(f"runtime_repeats must be >= 1, got {runtime_repeats}")
+    workers = _check_workers(workers)
+    if workers > 1 and instance is None and len(methods) > 1:
+        tasks = [
+            (None, None, method, restarts, solver_seed, runtime_repeats)
+            for method in methods
+        ]
+        by_key = _run_parallel(scenario, city, tasks, workers)
+        return {method: by_key[(None, method)] for method in methods}
     if instance is None:
         instance = scenario.build_instance(city)
-    results = {}
-    for method in methods:
-        solver = make_solver(method, seed=solver_seed, **_solver_kwargs(method, restarts))
-        first = solver.solve(instance)
-        metrics = CellMetrics.from_result(method, first)
-        if runtime_repeats > 1:
-            runtimes = [first.runtime_s]
-            for repeat in range(1, runtime_repeats):
-                repeat_solver = make_solver(
-                    method, seed=solver_seed, **_solver_kwargs(method, restarts)
-                )
-                runtimes.append(repeat_solver.solve(instance).runtime_s)
-            metrics = replace(metrics, runtime_s=sum(runtimes) / len(runtimes))
-        results[method] = metrics
-    return results
+    return {
+        method: _run_method(method, instance, restarts, solver_seed, runtime_repeats)
+        for method in methods
+    }
 
 
 def sweep(
@@ -86,6 +166,7 @@ def sweep(
     solver_seed: int = 0,
     city: CityDataset | None = None,
     runtime_repeats: int = 1,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Vary one scenario field across ``values``; other fields stay fixed.
 
@@ -101,10 +182,27 @@ def sweep(
     city:
         Optional pre-generated city to reuse; generated once from the base
         scenario otherwise.
+    workers:
+        Fan the ``values × methods`` task grid out over this many worker
+        processes.  Regret metrics are identical to the serial path on the
+        same seed; results are assembled in sweep order either way.
     """
+    workers = _check_workers(workers)
     if city is None:
         city = scenario.build_city()
     result = ExperimentResult(parameter=parameter, values=list(values))
+    if workers > 1:
+        tasks = [
+            (parameter, value, method, restarts, solver_seed, runtime_repeats)
+            for value in values
+            for method in methods
+        ]
+        by_key = _run_parallel(scenario, city, tasks, workers)
+        for value in values:
+            result.cells[value] = {
+                method: by_key[(value, method)] for method in methods
+            }
+        return result
     for value in values:
         cell_scenario = scenario.with_params(**{parameter: value})
         result.cells[value] = run_cell(

@@ -5,11 +5,28 @@ thousands of billboard locations within a radius ``λ``.  A uniform grid with
 cell size equal to the query radius gives the classic 3×3-cell candidate
 neighbourhood, which is both simple and fast for the near-uniform point
 densities of city-scale data.
+
+The index stores its points bucketed by cell in CSR layout (one sorted
+permutation plus bucket offsets), so a *batch* of query points is answered
+with one vectorized bucket join per neighbourhood offset instead of a
+Python-level loop over queries — see :meth:`GridIndex.join_radius`.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def _expand_slices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i] + counts[i])`` for all ``i``.
+
+    The standard repeat/cumsum trick: one vectorized pass, no Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    shifts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return np.repeat(starts - shifts, counts) + np.arange(total, dtype=np.int64)
 
 
 class GridIndex:
@@ -36,18 +53,21 @@ class GridIndex:
         self.cell_size = float(cell_size)
         if len(points) == 0:
             self._origin = np.zeros(2)
-            self._cells: dict[tuple[int, int], np.ndarray] = {}
+            self._dims = (0, 0)
+            self._order = np.empty(0, dtype=np.int64)
+            self._cell_ids = np.empty(0, dtype=np.int64)
+            self._bucket_offsets = np.zeros(1, dtype=np.int64)
             return
 
         self._origin = points.min(axis=0)
         cols = np.floor((points - self._origin) / self.cell_size).astype(np.int64)
-        self._cells = {}
-        order = np.lexsort((cols[:, 1], cols[:, 0]))
-        sorted_cols = cols[order]
-        boundaries = np.nonzero(np.any(np.diff(sorted_cols, axis=0) != 0, axis=1))[0] + 1
-        for chunk in np.split(order, boundaries):
-            key = (int(cols[chunk[0], 0]), int(cols[chunk[0], 1]))
-            self._cells[key] = chunk
+        self._dims = (int(cols[:, 0].max()) + 1, int(cols[:, 1].max()) + 1)
+        linear = cols[:, 0] * self._dims[1] + cols[:, 1]
+        order = np.argsort(linear, kind="stable")
+        cell_ids, starts = np.unique(linear[order], return_index=True)
+        self._order = order.astype(np.int64)
+        self._cell_ids = cell_ids
+        self._bucket_offsets = np.append(starts, len(points)).astype(np.int64)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -57,6 +77,12 @@ class GridIndex:
             int(np.floor((x - self._origin[0]) / self.cell_size)),
             int(np.floor((y - self._origin[1]) / self.cell_size)),
         )
+
+    def _lookup_buckets(self, linear: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Bucket slots of the given linear cell ids, and a found mask."""
+        positions = np.searchsorted(self._cell_ids, linear)
+        positions = np.minimum(positions, len(self._cell_ids) - 1)
+        return positions, self._cell_ids[positions] == linear
 
     def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
         """Indices of indexed points within ``radius`` of ``(x, y)``.
@@ -75,34 +101,80 @@ class GridIndex:
 
         ``queries`` is ``(m, 2)``.  Returns a sorted, deduplicated ``int64``
         array — exactly the "set of billboards met by this trajectory" the
-        influence model needs.
+        influence model needs.  Fully vectorized via :meth:`join_radius`.
+        """
+        _, point_indices = self.join_radius(queries, radius)
+        return np.unique(point_indices)
+
+    def join_radius(self, queries: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+        """All ``(query_index, point_index)`` pairs within ``radius``.
+
+        The batched cell-bucket join: every query's neighbourhood cells are
+        resolved against the CSR buckets with one ``searchsorted`` per
+        neighbourhood offset, candidate pairs are gathered with a vectorized
+        slice expansion, and one distance mask per offset batch keeps peak
+        memory at a single neighbourhood layer.  Each qualifying pair appears
+        exactly once (neighbourhood cells are distinct); pair order is
+        deterministic but unspecified.
         """
         queries = np.asarray(queries, dtype=np.float64)
-        hits: list[np.ndarray] = []
-        for x, y in queries:
-            candidates = self._candidates(float(x), float(y), radius)
-            if len(candidates) == 0:
-                continue
-            diff = self.points[candidates] - np.array([x, y])
-            mask = np.sum(diff * diff, axis=1) <= radius * radius
-            if mask.any():
-                hits.append(candidates[mask])
-        if not hits:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(hits))
+        if queries.ndim != 2 or queries.shape[1] != 2:
+            raise ValueError(f"queries must have shape (m, 2), got {queries.shape}")
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        if len(queries) == 0 or len(self.points) == 0:
+            return empty
+
+        reach = max(int(np.ceil(radius / self.cell_size)), 1)
+        nx, ny = self._dims
+        cells = np.floor((queries - self._origin) / self.cell_size).astype(np.int64)
+        radius_sq = radius * radius
+
+        query_hits: list[np.ndarray] = []
+        point_hits: list[np.ndarray] = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                tx = cells[:, 0] + dx
+                ty = cells[:, 1] + dy
+                in_grid = (tx >= 0) & (tx < nx) & (ty >= 0) & (ty < ny)
+                if not in_grid.any():
+                    continue
+                query_ids = np.nonzero(in_grid)[0]
+                slots, found = self._lookup_buckets(tx[in_grid] * ny + ty[in_grid])
+                if not found.any():
+                    continue
+                query_ids = query_ids[found]
+                slots = slots[found]
+                starts = self._bucket_offsets[slots]
+                counts = self._bucket_offsets[slots + 1] - starts
+                point_ids = self._order[_expand_slices(starts, counts)]
+                pair_queries = np.repeat(query_ids, counts)
+                diff = self.points[point_ids] - queries[pair_queries]
+                mask = np.sum(diff * diff, axis=1) <= radius_sq
+                if mask.any():
+                    query_hits.append(pair_queries[mask])
+                    point_hits.append(point_ids[mask])
+        if not query_hits:
+            return empty
+        return np.concatenate(query_hits), np.concatenate(point_hits)
 
     def _candidates(self, x: float, y: float, radius: float) -> np.ndarray:
         """All indexed points in cells overlapping the query disc."""
-        if not self._cells:
+        if len(self.points) == 0:
             return np.empty(0, dtype=np.int64)
         reach = max(int(np.ceil(radius / self.cell_size)), 1)
+        nx, ny = self._dims
         cx, cy = self._cell_of(x, y)
-        buckets = [
-            self._cells[key]
-            for dx in range(-reach, reach + 1)
-            for dy in range(-reach, reach + 1)
-            if (key := (cx + dx, cy + dy)) in self._cells
-        ]
-        if not buckets:
+        x_lo, x_hi = max(cx - reach, 0), min(cx + reach, nx - 1)
+        y_lo, y_hi = max(cy - reach, 0), min(cy + reach, ny - 1)
+        if x_lo > x_hi or y_lo > y_hi:
             return np.empty(0, dtype=np.int64)
-        return np.concatenate(buckets)
+        grid_x = np.arange(x_lo, x_hi + 1, dtype=np.int64)
+        grid_y = np.arange(y_lo, y_hi + 1, dtype=np.int64)
+        linear = (grid_x[:, None] * ny + grid_y[None, :]).ravel()
+        slots, found = self._lookup_buckets(linear)
+        slots = slots[found]
+        if len(slots) == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self._bucket_offsets[slots]
+        counts = self._bucket_offsets[slots + 1] - starts
+        return self._order[_expand_slices(starts, counts)]

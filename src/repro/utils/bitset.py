@@ -1,0 +1,81 @@
+"""Packed ``uint64`` bitset helpers for the coverage kernel.
+
+Trajectory-id sets are packed 64 ids per word: id ``t`` lives in word
+``t >> 6`` at bit ``t & 63`` (little bit order, little-endian words, so the
+layout is exactly ``np.packbits(..., bitorder="little")`` viewed as
+``"<u8"``).  Set algebra then becomes bitwise ops and cardinality becomes a
+popcount — the packed counterpart of the sorted-id arrays in
+:class:`repro.billboard.influence.CoverageIndex`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+#: Packed word dtype — explicitly little-endian so the bit-position layout
+#: ``t -> (word t >> 6, bit t & 63)`` holds on any host.
+WORD_DTYPE = np.dtype("<u8")
+
+
+def num_words(num_bits: int) -> int:
+    """Words needed to hold ``num_bits`` bits."""
+    return (int(num_bits) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into ``uint64`` words along its last axis.
+
+    ``(..., n)`` bools become ``(..., num_words(n))`` words; padding bits are
+    zero.  Bit ``t`` of the result is ``mask[..., t]``.
+    """
+    mask = np.ascontiguousarray(mask, dtype=bool)
+    n = mask.shape[-1]
+    words = num_words(n)
+    if words == 0:
+        return np.zeros(mask.shape[:-1] + (0,), dtype=WORD_DTYPE)
+    packed = np.packbits(mask, axis=-1, bitorder="little")
+    pad = words * 8 - packed.shape[-1]
+    if pad:
+        padding = [(0, 0)] * (packed.ndim - 1) + [(0, pad)]
+        packed = np.pad(packed, padding)
+    return np.ascontiguousarray(packed).view(WORD_DTYPE)
+
+
+def pack_ids(ids: np.ndarray, num_bits: int) -> np.ndarray:
+    """Pack an integer id array into a single bitset of ``num_bits`` bits."""
+    mask = np.zeros(num_bits, dtype=bool)
+    mask[np.asarray(ids, dtype=np.int64)] = True
+    return pack_bits(mask)
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-word population count (same shape as ``words``)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on numpy 1.x
+    _BYTE_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-word population count (same shape as ``words``)."""
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        counts = _BYTE_POPCOUNT[as_bytes].reshape(words.shape + (8,))
+        return counts.sum(axis=-1, dtype=np.uint64)
+
+
+def popcount_total(words: np.ndarray) -> int:
+    """Total number of set bits across the whole array."""
+    if words.size == 0:
+        return 0
+    return int(popcount(words).sum())
+
+
+def unpack_ids(bits: np.ndarray, num_bits: int) -> np.ndarray:
+    """Sorted ``int64`` ids of the set bits (inverse of :func:`pack_ids`)."""
+    if bits.size == 0:
+        return np.empty(0, dtype=np.int64)
+    as_bytes = np.ascontiguousarray(bits).view(np.uint8)
+    mask = np.unpackbits(as_bytes, bitorder="little")[:num_bits]
+    return np.nonzero(mask)[0].astype(np.int64)

@@ -1,0 +1,181 @@
+"""Tests for the content-keyed on-disk coverage cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.billboard import coverage_cache
+from repro.billboard.coverage_cache import (
+    CACHE_ENV,
+    cache_path,
+    coverage_fingerprint,
+    get_or_build,
+    load,
+    resolve_cache_dir,
+    store,
+)
+from repro.billboard.influence import CoverageIndex
+from repro.datasets import generate_nyc
+
+
+@pytest.fixture(scope="module")
+def tiny_city():
+    return generate_nyc(n_billboards=25, n_trajectories=120, seed=3)
+
+
+def assert_same_index(left: CoverageIndex, right: CoverageIndex) -> None:
+    assert left.num_billboards == right.num_billboards
+    assert left.num_trajectories == right.num_trajectories
+    assert left.lambda_m == right.lambda_m
+    for billboard_id in range(left.num_billboards):
+        assert np.array_equal(
+            left.covered_by(billboard_id), right.covered_by(billboard_id)
+        )
+    assert np.array_equal(left.individual_influences, right.individual_influences)
+
+
+class TestRoundTrip:
+    def test_store_then_load_is_identical(self, tiny_city, tmp_path):
+        index = CoverageIndex(
+            tiny_city.billboards, tiny_city.trajectories, lambda_m=100.0
+        )
+        path = store(index, tmp_path / "entry.npz")
+        loaded = load(path)
+        assert loaded is not None
+        assert_same_index(index, loaded)
+
+    def test_loaded_index_answers_queries_identically(self, tiny_city, tmp_path):
+        index = CoverageIndex(
+            tiny_city.billboards, tiny_city.trajectories, lambda_m=100.0
+        )
+        loaded = load(store(index, tmp_path / "entry.npz"))
+        sets = [[0, 3, 7], list(range(index.num_billboards)), []]
+        for billboard_set in sets:
+            assert loaded.influence_of_set(billboard_set) == index.influence_of_set(
+                billboard_set
+            )
+        counts = np.zeros(index.num_trajectories, dtype=np.int32)
+        counts[:40] = 1
+        assert np.array_equal(
+            loaded.batch_add_gains(counts), index.batch_add_gains(counts)
+        )
+
+    def test_get_or_build_hits_on_second_call(self, tiny_city, tmp_path, monkeypatch):
+        builds = []
+        original = coverage_cache.CoverageIndex
+
+        class CountingIndex(original):
+            def __init__(self, *args, **kwargs):
+                builds.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(coverage_cache, "CoverageIndex", CountingIndex)
+        first = get_or_build(
+            tiny_city.billboards, tiny_city.trajectories, 100.0, cache_dir=tmp_path
+        )
+        second = get_or_build(
+            tiny_city.billboards, tiny_city.trajectories, 100.0, cache_dir=tmp_path
+        )
+        assert len(builds) == 1
+        assert_same_index(first, second)
+
+    def test_no_cache_dir_degrades_to_plain_build(self, tiny_city, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        index = get_or_build(tiny_city.billboards, tiny_city.trajectories, 100.0)
+        direct = CoverageIndex(
+            tiny_city.billboards, tiny_city.trajectories, lambda_m=100.0
+        )
+        assert_same_index(index, direct)
+
+
+class TestFingerprint:
+    def test_sensitive_to_lambda_and_meet_mode(self, tiny_city):
+        base = coverage_fingerprint(tiny_city.billboards, tiny_city.trajectories, 100.0)
+        assert base != coverage_fingerprint(
+            tiny_city.billboards, tiny_city.trajectories, 150.0
+        )
+        assert base != coverage_fingerprint(
+            tiny_city.billboards, tiny_city.trajectories, 100.0, exact_segments=True
+        )
+
+    def test_sensitive_to_city_content(self, tiny_city):
+        other = generate_nyc(n_billboards=25, n_trajectories=120, seed=4)
+        assert coverage_fingerprint(
+            tiny_city.billboards, tiny_city.trajectories, 100.0
+        ) != coverage_fingerprint(other.billboards, other.trajectories, 100.0)
+
+    def test_deterministic(self, tiny_city):
+        first = coverage_fingerprint(tiny_city.billboards, tiny_city.trajectories, 100.0)
+        second = coverage_fingerprint(tiny_city.billboards, tiny_city.trajectories, 100.0)
+        assert first == second
+
+
+class TestRobustness:
+    def test_missing_file_loads_none(self, tmp_path):
+        assert load(tmp_path / "absent.npz") is None
+
+    def test_corrupt_file_rebuilds(self, tiny_city, tmp_path):
+        fingerprint = coverage_fingerprint(
+            tiny_city.billboards, tiny_city.trajectories, 100.0
+        )
+        path = cache_path(tmp_path, fingerprint)
+        path.write_bytes(b"not an npz archive")
+        assert load(path) is None
+        index = get_or_build(
+            tiny_city.billboards, tiny_city.trajectories, 100.0, cache_dir=tmp_path
+        )
+        direct = CoverageIndex(
+            tiny_city.billboards, tiny_city.trajectories, lambda_m=100.0
+        )
+        assert_same_index(index, direct)
+        # The rebuild also repaired the cache entry.
+        assert load(path) is not None
+
+    def test_unwritable_cache_location_degrades_to_plain_build(
+        self, tiny_city, tmp_path
+    ):
+        # A cache "directory" that is actually a file: the build must still
+        # succeed, silently skipping the store.
+        not_a_dir = tmp_path / "cache-file"
+        not_a_dir.write_text("occupied")
+        index = get_or_build(
+            tiny_city.billboards, tiny_city.trajectories, 100.0, cache_dir=not_a_dir
+        )
+        direct = CoverageIndex(
+            tiny_city.billboards, tiny_city.trajectories, lambda_m=100.0
+        )
+        assert_same_index(index, direct)
+
+    def test_stale_format_version_is_ignored(self, tiny_city, tmp_path):
+        index = CoverageIndex(
+            tiny_city.billboards, tiny_city.trajectories, lambda_m=100.0
+        )
+        path = store(index, tmp_path / "entry.npz")
+        flat_ids, offsets = index.to_arrays()
+        np.savez_compressed(
+            path,
+            version=np.int64(coverage_cache._FORMAT_VERSION + 1),
+            flat_ids=flat_ids,
+            offsets=offsets,
+            num_trajectories=np.int64(index.num_trajectories),
+            lambda_m=np.float64(index.lambda_m),
+        )
+        assert load(path) is None
+
+
+class TestEnvWiring:
+    def test_resolve_cache_dir_prefers_argument(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "from-env"))
+        assert resolve_cache_dir(tmp_path / "explicit") == tmp_path / "explicit"
+        assert resolve_cache_dir() == tmp_path / "from-env"
+        monkeypatch.delenv(CACHE_ENV)
+        assert resolve_cache_dir() is None
+
+    def test_city_dataset_coverage_uses_env_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        city = generate_nyc(n_billboards=15, n_trajectories=80, seed=5)
+        index = city.coverage(lambda_m=100.0)
+        entries = list(tmp_path.glob("coverage-*.npz"))
+        assert len(entries) == 1
+        assert_same_index(index, load(entries[0]))

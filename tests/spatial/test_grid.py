@@ -88,3 +88,74 @@ class TestAgainstBruteForce:
         expected = brute_force_radius(points, float(x), float(y), radius)
         actual = grid.query_radius(float(x), float(y), radius)
         assert actual.tolist() == expected.tolist()
+
+
+class TestJoinRadius:
+    """The batched cell-bucket join behind ``query_radius_bulk`` and coverage."""
+
+    def brute_force_pairs(self, points, queries, radius):
+        distances = pairwise_distances(queries, points)
+        return set(zip(*np.nonzero(distances <= radius)))
+
+    def test_empty_inputs(self):
+        grid = GridIndex(np.zeros((0, 2)), cell_size=1.0)
+        query_ids, point_ids = grid.join_radius(np.array([[0.0, 0.0]]), 5.0)
+        assert len(query_ids) == len(point_ids) == 0
+        grid = GridIndex(np.array([[0.0, 0.0]]), cell_size=1.0)
+        query_ids, point_ids = grid.join_radius(np.empty((0, 2)), 5.0)
+        assert len(query_ids) == len(point_ids) == 0
+
+    def test_rejects_bad_query_shape(self):
+        grid = GridIndex(np.array([[0.0, 0.0]]), cell_size=1.0)
+        with pytest.raises(ValueError, match="shape"):
+            grid.join_radius(np.zeros(3), 1.0)
+
+    def test_pairs_unique(self):
+        rng = as_generator(3)
+        points = rng.uniform(0.0, 100.0, size=(80, 2))
+        grid = GridIndex(points, cell_size=10.0)
+        queries = rng.uniform(0.0, 100.0, size=(25, 2))
+        query_ids, point_ids = grid.join_radius(queries, 25.0)
+        pairs = list(zip(query_ids.tolist(), point_ids.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        cell=st.floats(min_value=5.0, max_value=150.0),
+        radius=st.floats(min_value=0.5, max_value=250.0),
+    )
+    def test_property_join_equals_brute_force(self, seed, cell, radius):
+        rng = as_generator(seed)
+        points = rng.uniform(-200.0, 200.0, size=(50, 2))
+        queries = rng.uniform(-250.0, 250.0, size=(15, 2))
+        grid = GridIndex(points, cell_size=cell)
+        query_ids, point_ids = grid.join_radius(queries, radius)
+        actual = set(zip(query_ids.tolist(), point_ids.tolist()))
+        assert actual == self.brute_force_pairs(points, queries, radius)
+
+    def test_bulk_microbenchmark_matches_per_query_unions(self):
+        """The vectorized bulk path returns exactly the per-query union —
+        timed on a workload large enough to exercise the batched join."""
+        import time
+
+        rng = as_generator(17)
+        points = rng.uniform(0.0, 2_000.0, size=(3_000, 2))
+        queries = rng.uniform(0.0, 2_000.0, size=(400, 2))
+        radius = 80.0
+        grid = GridIndex(points, cell_size=radius)
+
+        started = time.perf_counter()
+        singles = set()
+        for x, y in queries:
+            singles.update(grid.query_radius(float(x), float(y), radius).tolist())
+        loop_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        bulk = grid.query_radius_bulk(queries, radius)
+        bulk_s = time.perf_counter() - started
+
+        assert set(bulk.tolist()) == singles
+        assert np.all(np.diff(bulk) > 0)  # sorted, unique
+        # Timing is informational (CI boxes vary); correctness is the assert.
+        print(f"\nquery_radius loop: {loop_s * 1e3:.1f} ms, bulk: {bulk_s * 1e3:.1f} ms")
