@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench lint
+.PHONY: test bench-smoke bench lint obs-demo
 
 ## Tier-1 test suite (also runs the benchmark script's smoke mode, see
 ## tests/experiments/test_parallel_harness.py).
@@ -20,3 +20,21 @@ bench:
 ## third-party linter, so this is a stdlib-only check).
 lint:
 	$(PYTHON) -m compileall -q src tests scripts examples
+
+## Small instrumented sweep: two workers, a shared coverage cache, the JSONL
+## run log, and the end-of-run summary table (see README "Inspecting a run").
+OBS_DEMO_DIR ?= /tmp/mroam-obs-demo
+obs-demo:
+	mkdir -p $(OBS_DEMO_DIR)
+	## Warm the on-disk coverage cache at the default λ=100 (uninstrumented),
+	## so the instrumented sweep below records both cache hits and misses.
+	REPRO_COVERAGE_CACHE=$(OBS_DEMO_DIR)/coverage-cache \
+	$(PYTHON) -m repro.cli cell \
+		--billboards 60 --trajectories 400 --p-avg 0.1 --seed 2 \
+		--methods g-global --restarts 0 > /dev/null
+	REPRO_COVERAGE_CACHE=$(OBS_DEMO_DIR)/coverage-cache \
+	$(PYTHON) -m repro.cli sweep \
+		--billboards 60 --trajectories 400 --p-avg 0.1 --seed 2 \
+		--parameter lambda_m --methods g-global,bls --restarts 1 --workers 2 \
+		--obs-out $(OBS_DEMO_DIR)/run.jsonl --obs-summary
+	@echo "run log: $(OBS_DEMO_DIR)/run.jsonl"

@@ -24,11 +24,14 @@ import argparse
 import json
 import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
+from repro.billboard import coverage_cache
 from repro.billboard.influence import BITMAP_BUDGET_ENV, CoverageIndex
 from repro.billboard.model import BillboardDB
 from repro.experiments.harness import run_cell
@@ -154,6 +157,53 @@ def bench_bls_cell(scenario: Scenario, restarts: int) -> dict:
     }
 
 
+def collect_obs_columns(scenario: Scenario, index: CoverageIndex, seed: int) -> dict:
+    """Kernel-dispatch and cache-hit counters for the BENCH JSON.
+
+    Runs *outside* the timed sections with collection enabled: a short
+    instrumented replay of both query kernels, plus one cold + one warm
+    coverage-cache round trip in a temporary directory, so the timed
+    benchmark itself keeps the (default, disabled) no-op instrumentation
+    path that the <5% regression criterion measures.
+    """
+    rng = as_generator(seed)
+    max_set = max(2, min(50, index.num_billboards))
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    try:
+        for _ in range(50):
+            ids = rng.choice(
+                index.num_billboards, size=int(rng.integers(1, max_set)), replace=False
+            ).tolist()
+            index.influence_of_set(ids)
+            index.influence_of_set_ids(ids)
+            index.batch_add_gains(np.zeros(index.num_trajectories, dtype=np.int64))
+        city = scenario.build_city()
+        with tempfile.TemporaryDirectory() as cache_dir:
+            for _ in range(2):  # cold miss, then warm hit
+                coverage_cache.get_or_build(
+                    city.billboards,
+                    city.trajectories,
+                    lambda_m=scenario.lambda_m,
+                    cache_dir=cache_dir,
+                )
+        counters = dict(obs.get_registry().counters)
+    finally:
+        if was_enabled:
+            obs.reset()
+        else:
+            obs.disable()
+    keys = (
+        "influence.dispatch.idarray",
+        "influence.dispatch.bitmap",
+        "influence.bitmap.builds",
+        "coverage_cache.hit",
+        "coverage_cache.miss",
+    )
+    return {key: int(counters.get(key, 0)) for key in keys}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -177,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     build, index = bench_build(scenario)
     queries = bench_influence_queries(index, num_queries, seed=args.seed)
     bls = bench_bls_cell(scenario, restarts)
+    obs_columns = collect_obs_columns(scenario, index, seed=args.seed)
 
     report = {
         "benchmark": "coverage-kernel",
@@ -192,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         "build": build,
         "influence_of_set": queries,
         "bls_cell": bls,
+        "obs": obs_columns,
     }
     path = Path(args.output)
     path.write_text(json.dumps(report, indent=2) + "\n")

@@ -28,6 +28,7 @@ def advertiser_driven_local_search(
     num_advertisers = allocation.instance.num_advertisers
     sweeps = 0
     exchanges = 0
+    evaluated = 0
     improved = True
     while improved:
         improved = False
@@ -35,6 +36,7 @@ def advertiser_driven_local_search(
         for advertiser_a in range(num_advertisers):
             for advertiser_b in range(advertiser_a + 1, num_advertisers):
                 delta = delta_exchange_sets(allocation, advertiser_a, advertiser_b)
+                evaluated += 1
                 if delta < -min_improvement:
                     allocation.exchange_sets(advertiser_a, advertiser_b)
                     exchanges += 1
@@ -42,4 +44,5 @@ def advertiser_driven_local_search(
     if stats is not None:
         stats["als_sweeps"] = stats.get("als_sweeps", 0) + sweeps
         stats["als_exchanges"] = stats.get("als_exchanges", 0) + exchanges
+        stats["als_moves_evaluated"] = stats.get("als_moves_evaluated", 0) + evaluated
     return allocation

@@ -97,21 +97,33 @@ class SimulatedAnnealingSolver(Solver):
             temperature = max(0.05 * scale, 1e-6)
 
         accepted = 0
-        for _ in range(self.steps):
+        # Telemetry sampling window: ~100 convergence points per run.
+        sample_every = max(1, self.steps // 100)
+        steps_since_sample = 0
+        accepted_at_sample = 0
+        for step in range(self.steps):
             proposal = self._propose(allocation, rng)
             temperature *= self.cooling
-            if proposal is None:
-                continue
-            delta, apply_move = proposal
-            if delta <= 0 or rng.random() < math.exp(
-                -delta / max(temperature, 1e-12)
-            ):
-                apply_move()
-                current_regret += delta
-                accepted += 1
-                if current_regret < best_regret - 1e-12:
-                    best_regret = current_regret
-                    best = allocation.clone()
+            if proposal is not None:
+                delta, apply_move = proposal
+                if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(temperature, 1e-12)
+                ):
+                    apply_move()
+                    current_regret += delta
+                    accepted += 1
+                    if current_regret < best_regret - 1e-12:
+                        best_regret = current_regret
+                        best = allocation.clone()
+            steps_since_sample += 1
+            if steps_since_sample == sample_every or step + 1 == self.steps:
+                self.record_iteration(
+                    best_regret,
+                    moves_evaluated=steps_since_sample,
+                    moves_accepted=accepted - accepted_at_sample,
+                )
+                steps_since_sample = 0
+                accepted_at_sample = accepted
 
         stats["sa_steps"] = self.steps
         stats["sa_accepted"] = accepted

@@ -82,6 +82,7 @@ def _find_improving_exchange(
     advertiser_id: int,
     billboard_id: int,
     min_improvement: float,
+    counters: dict | None = None,
 ) -> int | None:
     """Best-bound-first search for an improving exchange partner of
     ``billboard_id`` (owned by ``advertiser_id``), or ``None``.
@@ -116,6 +117,8 @@ def _find_improving_exchange(
         mask = (candidates != billboard_id) & (owners != advertiser_id)
         candidates = candidates[mask]
         candidate_owners = owners[candidates].copy()
+        if counters is not None:
+            counters["evaluated"] = counters.get("evaluated", 0) + len(candidates)
 
         own_new = released_influence + gains[candidates].astype(np.float64)
         own_delta = (
@@ -170,6 +173,8 @@ def _find_improving_exchange(
                     break
                 partner_billboard = int(assigned_candidates[position])
                 partner_id = int(partner_ids[position])
+                if counters is not None:
+                    counters["partner_exact"] = counters.get("partner_exact", 0) + 1
                 influence_delta = _partner_swap_delta(
                     allocation, partner_id, partner_billboard, billboard_id
                 )
@@ -223,6 +228,7 @@ def billboard_driven_local_search(
     exchanges = 0
     releases = 0
     topups = 0
+    counters: dict = {}
 
     while True:
         sweeps += 1
@@ -234,7 +240,7 @@ def billboard_driven_local_search(
                 if allocation.owner_of(billboard_id) != advertiser_id:
                     continue  # already moved earlier in this sweep
                 partner = _find_improving_exchange(
-                    allocation, advertiser_id, billboard_id, min_improvement
+                    allocation, advertiser_id, billboard_id, min_improvement, counters
                 )
                 if partner is not None:
                     allocation.exchange_billboards(billboard_id, partner)
@@ -244,6 +250,7 @@ def billboard_driven_local_search(
         # Move family 3: releases.
         for advertiser_id in range(instance.num_advertisers):
             for billboard_id in sorted(allocation.billboards_of(advertiser_id)):
+                counters["evaluated"] = counters.get("evaluated", 0) + 1
                 if delta_release(allocation, billboard_id) < -min_improvement:
                     allocation.release(billboard_id)
                     releases += 1
@@ -267,4 +274,10 @@ def billboard_driven_local_search(
         stats["bls_exchanges"] = stats.get("bls_exchanges", 0) + exchanges
         stats["bls_releases"] = stats.get("bls_releases", 0) + releases
         stats["bls_topups"] = stats.get("bls_topups", 0) + topups
+        stats["bls_moves_evaluated"] = stats.get("bls_moves_evaluated", 0) + counters.get(
+            "evaluated", 0
+        )
+        stats["bls_partner_exact_evals"] = stats.get(
+            "bls_partner_exact_evals", 0
+        ) + counters.get("partner_exact", 0)
     return allocation

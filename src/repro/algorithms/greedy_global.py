@@ -53,6 +53,7 @@ def synchronous_greedy(
         active = set(range(instance.num_advertisers))
     assignments = 0
     releases = 0
+    marginal_evals = 0
 
     while True:
         unsatisfied = [i for i in sorted(active) if not allocation.is_satisfied(i)]
@@ -63,9 +64,9 @@ def synchronous_greedy(
         for advertiser_id in unsatisfied:
             if allocation.is_satisfied(advertiser_id) or not allocation.unassigned:
                 continue
-            pick = best_marginal_billboard(
-                allocation, advertiser_id, _sorted_unassigned(allocation)
-            )
+            candidates = _sorted_unassigned(allocation)
+            marginal_evals += len(candidates)
+            pick = best_marginal_billboard(allocation, advertiser_id, candidates)
             if pick is None:
                 continue
             allocation.assign(pick, advertiser_id)
@@ -94,6 +95,9 @@ def synchronous_greedy(
     if stats is not None:
         stats["assignments"] = stats.get("assignments", 0) + assignments
         stats["releases"] = stats.get("releases", 0) + releases
+        stats["marginal_gain_evals"] = (
+            stats.get("marginal_gain_evals", 0) + marginal_evals
+        )
 
 
 class SynchronousGreedy(Solver):

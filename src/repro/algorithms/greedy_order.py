@@ -29,6 +29,7 @@ class BudgetEffectiveGreedy(Solver):
             key=lambda i: (-instance.advertisers[i].budget_effectiveness, i),
         )
         assignments = 0
+        marginal_evals = 0
         for advertiser_id in order:
             demand = instance.advertisers[advertiser_id].demand
             while allocation.unassigned and allocation.influence(advertiser_id) < demand:
@@ -36,6 +37,7 @@ class BudgetEffectiveGreedy(Solver):
                     allocation.unassigned, dtype=np.int64, count=len(allocation.unassigned)
                 )
                 candidates.sort()
+                marginal_evals += len(candidates)
                 pick = best_marginal_billboard(allocation, advertiser_id, candidates)
                 if pick is None:
                     # Only zero-influence billboards remain; they can never
@@ -44,4 +46,5 @@ class BudgetEffectiveGreedy(Solver):
                 allocation.assign(pick, advertiser_id)
                 assignments += 1
         stats["assignments"] = assignments
+        stats["marginal_gain_evals"] = marginal_evals
         return allocation

@@ -86,18 +86,45 @@ class RandomizedLocalSearch(Solver):
             allocation.assign(int(pool[advertiser_id]), advertiser_id)
         return allocation
 
+    # Cumulative stats counters the restart telemetry reports as deltas.
+    _EVALUATED_KEYS = ("als_moves_evaluated", "bls_moves_evaluated")
+    _ACCEPTED_KEYS = (
+        "als_exchanges",
+        "bls_exchanges",
+        "bls_releases",
+        "bls_topups",
+        "assignments",
+        "releases",
+    )
+
+    def _record_restart(self, best_regret: float, before: dict, stats: dict) -> None:
+        """One telemetry point per restart: best regret + this restart's moves."""
+
+        def delta(keys: tuple) -> int:
+            return sum(stats.get(k, 0) - before.get(k, 0) for k in keys)
+
+        self.record_iteration(
+            best_regret,
+            moves_evaluated=delta(self._EVALUATED_KEYS),
+            moves_accepted=delta(self._ACCEPTED_KEYS),
+            marginal_gain_evals=delta(("marginal_gain_evals",)),
+        )
+
     def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
         rng = as_generator(self.seed)
         local_search = self._local_search()
 
         # Line 3.1: incumbent from the synchronous greedy, then refined.
+        before = dict(stats)
         best = Allocation(instance)
         synchronous_greedy(best, stats=stats)
         best = local_search(best, stats)
         best_regret = best.total_regret()
         stats["best_restart"] = -1  # -1 = the deterministic greedy start
+        self._record_restart(best_regret, before, stats)
 
         for restart in range(self.restarts):
+            before = dict(stats)
             plan = self._random_seed_plan(instance, rng)
             synchronous_greedy(plan, stats=stats)
             plan = local_search(plan, stats)
@@ -105,5 +132,6 @@ class RandomizedLocalSearch(Solver):
             if plan_regret < best_regret:
                 best, best_regret = plan, plan_regret
                 stats["best_restart"] = restart
+            self._record_restart(best_regret, before, stats)
         stats["restarts"] = self.restarts
         return best

@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.billboard.influence import CoverageIndex
 from repro.billboard.model import BillboardDB
 from repro.trajectory.model import TrajectoryDB
@@ -102,6 +103,7 @@ def load(path: str | os.PathLike) -> CoverageIndex | None:
     try:
         with np.load(path) as archive:
             if int(archive["version"]) != _FORMAT_VERSION:
+                obs.counter_add("coverage_cache.corrupt")
                 return None
             return CoverageIndex.from_flat_arrays(
                 archive["flat_ids"],
@@ -110,6 +112,7 @@ def load(path: str | os.PathLike) -> CoverageIndex | None:
                 lambda_m=float(archive["lambda_m"]),
             )
     except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        obs.counter_add("coverage_cache.corrupt")
         return None
 
 
@@ -132,14 +135,21 @@ def get_or_build(
         )
     fingerprint = coverage_fingerprint(billboards, trajectories, lambda_m, exact_segments)
     path = cache_path(directory, fingerprint)
-    cached = load(path)
-    if cached is not None:
-        return cached
-    index = CoverageIndex(
-        billboards, trajectories, lambda_m=lambda_m, exact_segments=exact_segments
-    )
-    try:
-        store(index, path)
-    except OSError:
-        pass  # an unwritable cache location must not fail the experiment
+    with obs.span("coverage_cache.get_or_build", fingerprint=fingerprint[:12]):
+        cached = load(path)
+        if cached is not None:
+            obs.counter_add("coverage_cache.hit")
+            return cached
+        obs.counter_add("coverage_cache.miss")
+        index = CoverageIndex(
+            billboards, trajectories, lambda_m=lambda_m, exact_segments=exact_segments
+        )
+        try:
+            store(index, path)
+        except OSError:
+            # An unwritable cache location must not fail the experiment.
+            obs.counter_add("coverage_cache.write_failure")
+            obs.get_logger("repro.billboard.coverage_cache").warning(
+                "coverage cache write failed for %s (continuing uncached)", path
+            )
     return index

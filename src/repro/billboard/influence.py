@@ -39,6 +39,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.billboard.model import BillboardDB
 from repro.spatial.geometry import min_distance_to_polyline
 from repro.spatial.grid import GridIndex
@@ -137,38 +138,52 @@ class CoverageIndex:
         # polyline coming within λ — the grid query is widened by half the
         # largest sample gap so no segment-only meet can be missed, then the
         # candidates are confirmed against the exact segment distance.
-        margin = _max_sample_gap(trajectories) / 2.0 if exact_segments else 0.0
-        grid = GridIndex(trajectories.all_points, cell_size=lambda_m)
-        point_owner = np.repeat(
-            np.arange(len(trajectories), dtype=np.int64), trajectories.point_counts
-        )
-        billboard_ids, point_ids = grid.join_radius(
-            billboards.locations, lambda_m + margin
-        )
-        # Deduplicate (billboard, trajectory) pairs in one pass: the sorted
-        # unique composite keys split into per-billboard sorted id arrays.
-        keys = np.unique(billboard_ids * self.num_trajectories + point_owner[point_ids])
-        owners = keys // self.num_trajectories
-        covered_ids = keys % self.num_trajectories
-        split_at = np.searchsorted(owners, np.arange(1, self.num_billboards))
-        covered = [np.ascontiguousarray(ids) for ids in np.split(covered_ids, split_at)]
-        if exact_segments:
-            locations = billboards.locations
-            for billboard_id, candidates in enumerate(covered):
-                if not len(candidates):
-                    continue
-                location = locations[billboard_id]
-                covered[billboard_id] = np.array(
-                    [
-                        t
-                        for t in candidates
-                        if min_distance_to_polyline(location, trajectories.points_of(int(t)))
-                        <= lambda_m
-                    ],
-                    dtype=np.int64,
-                )
-        self._covered = covered
-        self._individual = np.array([len(ids) for ids in covered], dtype=np.int64)
+        with obs.span(
+            "coverage.build",
+            billboards=self.num_billboards,
+            trajectories=self.num_trajectories,
+            lambda_m=self.lambda_m,
+            exact_segments=exact_segments,
+        ):
+            margin = _max_sample_gap(trajectories) / 2.0 if exact_segments else 0.0
+            grid = GridIndex(trajectories.all_points, cell_size=lambda_m)
+            point_owner = np.repeat(
+                np.arange(len(trajectories), dtype=np.int64), trajectories.point_counts
+            )
+            billboard_ids, point_ids = grid.join_radius(
+                billboards.locations, lambda_m + margin
+            )
+            # Deduplicate (billboard, trajectory) pairs in one pass: the sorted
+            # unique composite keys split into per-billboard sorted id arrays.
+            keys = np.unique(
+                billboard_ids * self.num_trajectories + point_owner[point_ids]
+            )
+            owners = keys // self.num_trajectories
+            covered_ids = keys % self.num_trajectories
+            split_at = np.searchsorted(owners, np.arange(1, self.num_billboards))
+            covered = [
+                np.ascontiguousarray(ids) for ids in np.split(covered_ids, split_at)
+            ]
+            if exact_segments:
+                locations = billboards.locations
+                for billboard_id, candidates in enumerate(covered):
+                    if not len(candidates):
+                        continue
+                    location = locations[billboard_id]
+                    covered[billboard_id] = np.array(
+                        [
+                            t
+                            for t in candidates
+                            if min_distance_to_polyline(
+                                location, trajectories.points_of(int(t))
+                            )
+                            <= lambda_m
+                        ],
+                        dtype=np.int64,
+                    )
+            self._covered = covered
+            self._individual = np.array([len(ids) for ids in covered], dtype=np.int64)
+            obs.counter_add("coverage.builds")
 
     def _init_caches(self, bitmap_budget_mb: float | None) -> None:
         self._bitmap_budget_mb = _resolve_bitmap_budget_mb(bitmap_budget_mb)
@@ -284,7 +299,25 @@ class CoverageIndex:
             self._bitmap_decided = True
             budget_bytes = self._bitmap_budget_mb * 1024 * 1024
             if self._bitmap_budget_mb > 0 and self.bitmap_bytes() <= budget_bytes:
-                self._bitmap = self._build_bitmap()
+                with obs.span(
+                    "coverage.bitmap_build", bytes=self.bitmap_bytes()
+                ):
+                    self._bitmap = self._build_bitmap()
+                obs.counter_add("influence.bitmap.builds")
+                obs.gauge_set("influence.bitmap.bytes", self.bitmap_bytes())
+            elif self._bitmap_budget_mb > 0:
+                # The decision is made exactly once per index, so this warning
+                # fires exactly once per index that exceeds the budget.
+                obs.get_logger("repro.billboard.influence").warning(
+                    "bitmap kernel skipped: %.1f MB needed > %s=%.1f MB budget "
+                    "(%d billboards x %d words); falling back to id arrays",
+                    self.bitmap_bytes() / (1024 * 1024),
+                    BITMAP_BUDGET_ENV,
+                    self._bitmap_budget_mb,
+                    self.num_billboards,
+                    self.bitmap_words,
+                )
+                obs.counter_add("influence.bitmap.skipped")
         return self._bitmap
 
     def _build_bitmap(self) -> np.ndarray:
@@ -359,7 +392,10 @@ class CoverageIndex:
             if bitmap is not None:
                 if free_bits is None:
                     free_bits = bitset.pack_bits(counts_row == 0)
+                obs.counter_add("influence.dispatch.bitmap")
+                obs.histogram_observe("influence.popcount.rows", self.num_billboards)
                 return bitset.popcount(bitmap & free_bits).sum(axis=1).astype(np.int64)
+        obs.counter_add("influence.dispatch.idarray")
         flat, offsets = self._flat_coverage()
         if len(flat) == 0:
             return np.zeros(self.num_billboards, dtype=np.int64)
@@ -381,7 +417,10 @@ class CoverageIndex:
             if bitmap is not None:
                 if ones_bits is None:
                     ones_bits = bitset.pack_bits(counts_row == 1)
+                obs.counter_add("influence.dispatch.bitmap")
+                obs.histogram_observe("influence.popcount.rows", self.num_billboards)
                 return bitset.popcount(bitmap & ones_bits).sum(axis=1).astype(np.int64)
+        obs.counter_add("influence.dispatch.idarray")
         flat, offsets = self._flat_coverage()
         if len(flat) == 0:
             return np.zeros(self.num_billboards, dtype=np.int64)
@@ -418,6 +457,8 @@ class CoverageIndex:
             else None
         )
         if bitmap is not None:
+            obs.counter_add("influence.dispatch.bitmap")
+            obs.histogram_observe("influence.popcount.rows", 2)
             row_removed = bitmap[removed_billboard]
             row_added = bitmap[added_billboard]
             if free_bits is None:
@@ -429,6 +470,7 @@ class CoverageIndex:
                 row_added & free_bits & ~row_removed
             ) + bitset.popcount_total(row_added & row_removed & ones_bits)
             return gain - loss
+        obs.counter_add("influence.dispatch.idarray")
         cov_removed = self._covered[removed_billboard]
         cov_added = self._covered[added_billboard]
         loss = int(np.count_nonzero(counts_row[cov_removed] == 1))
@@ -462,6 +504,8 @@ class CoverageIndex:
         if bitmap is None:
             return self.influence_of_set_ids(billboard_ids)
         ids = np.fromiter((int(b) for b in billboard_ids), dtype=np.int64)
+        obs.counter_add("influence.dispatch.bitmap")
+        obs.histogram_observe("influence.popcount.rows", len(ids))
         if len(ids) == 0:
             return 0
         union = np.bitwise_or.reduce(bitmap[ids], axis=0)
@@ -469,6 +513,7 @@ class CoverageIndex:
 
     def influence_of_set_ids(self, billboard_ids: Iterable[int]) -> int:
         """``I(S)`` via the sorted-id-array kernel (always available)."""
+        obs.counter_add("influence.dispatch.idarray")
         arrays = [self._covered[int(b)] for b in billboard_ids]
         arrays = [a for a in arrays if len(a)]
         if not arrays:

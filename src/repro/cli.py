@@ -11,8 +11,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro import obs
 from repro.datasets import example1_instance, example1_strategy1, example1_strategy2, generate_city
 from repro.experiments.configs import (
     ALPHA_VALUES,
@@ -61,6 +63,18 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker processes for the methods × values task grid (default serial)",
     )
+    parser.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="PATH",
+        help="write the observability run log (spans, counters, solver "
+        f"telemetry) to this JSONL file; ${obs.OBS_OUT_ENV} is the default",
+    )
+    parser.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="print a human-readable metrics summary after the run",
+    )
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -77,9 +91,33 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
     )
 
 
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable observability when the flags or ``REPRO_OBS_OUT`` ask for it."""
+    out = args.obs_out or os.environ.get(obs.OBS_OUT_ENV)
+    if out is None and not args.obs_summary:
+        return False
+    obs.enable(out=out)
+    return True
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    """Write the JSONL run log and/or print the summary, then reset obs."""
+    try:
+        path = obs.configured_out()
+        if path is not None:
+            obs.write_jsonl(path)
+            print(f"\nwrote obs run log to {path}")
+        if args.obs_summary:
+            print()
+            print(obs.summary_table())
+    finally:
+        obs.disable()
+
+
 def _cmd_cell(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     methods = args.methods.split(",")
+    obs_active = _obs_begin(args)
     metrics = run_cell(
         scenario, methods=methods, restarts=args.restarts, workers=args.workers
     )
@@ -91,6 +129,8 @@ def _cmd_cell(args: argparse.Namespace) -> int:
             f"satisfied={cell.satisfied_advertisers}/{cell.num_advertisers} "
             f"time={cell.runtime_s:.2f}s"
         )
+    if obs_active:
+        _obs_finish(args)
     return 0
 
 
@@ -98,6 +138,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     values = _SWEEP_VALUES[args.parameter]
     methods = args.methods.split(",")
+    obs_active = _obs_begin(args)
     result = sweep(
         scenario,
         args.parameter,
@@ -110,6 +151,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(format_regret_table(result, f"{args.dataset.upper()} — sweep over {args.parameter}", fmt))
     print()
     print(format_runtime_table(result, "Runtime", fmt))
+    if obs_active:
+        _obs_finish(args)
     return 0
 
 

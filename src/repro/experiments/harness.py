@@ -13,6 +13,13 @@ shares one on-disk coverage cache with every other worker.  Solvers are
 deterministic given ``(instance, solver_seed)`` and tasks are reassembled in
 sweep order, so the parallel path returns exactly the serial path's regret
 metrics; only the measured wall-clock times differ.
+
+When observability is enabled (see :mod:`repro.obs`), every
+``(cell, method)`` execution runs inside a ``harness.cell`` span and each
+worker ships a snapshot of its metrics registry back with the task result;
+the parent merges snapshots in task-submission order, so counter totals for
+deterministic per-task work (solver counters, influence dispatch) are equal
+between ``workers=N`` and serial runs.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
+from repro import obs
 from repro.algorithms.registry import PAPER_METHODS, make_solver
 from repro.core.problem import MROAMInstance
 from repro.datasets.synthetic import CityDataset
@@ -57,19 +65,32 @@ def _run_method(
     restarts: int,
     solver_seed: int,
     runtime_repeats: int,
+    span_attrs: dict | None = None,
 ) -> CellMetrics:
     """One (instance, method) execution — the unit of parallel work."""
-    solver = make_solver(method, seed=solver_seed, **_solver_kwargs(method, restarts))
-    first = solver.solve(instance)
-    metrics = CellMetrics.from_result(method, first)
-    if runtime_repeats > 1:
-        runtimes = [first.runtime_s]
-        for _ in range(1, runtime_repeats):
-            repeat_solver = make_solver(
-                method, seed=solver_seed, **_solver_kwargs(method, restarts)
+    with obs.span("harness.cell", method=method, **(span_attrs or {})):
+        if obs.enabled():
+            # One union query per cell: reports the reachable-audience
+            # ceiling on the run log and exercises the bitmap kernel's
+            # dispatch counter even on cells too sparse for the batch
+            # passes to pick it.
+            obs.gauge_set(
+                "coverage.total_reachable",
+                float(instance.coverage.total_reachable()),
             )
-            runtimes.append(repeat_solver.solve(instance).runtime_s)
-        metrics = replace(metrics, runtime_s=sum(runtimes) / len(runtimes))
+        solver = make_solver(
+            method, seed=solver_seed, **_solver_kwargs(method, restarts)
+        )
+        first = solver.solve(instance)
+        metrics = CellMetrics.from_result(method, first)
+        if runtime_repeats > 1:
+            runtimes = [first.runtime_s]
+            for _ in range(1, runtime_repeats):
+                repeat_solver = make_solver(
+                    method, seed=solver_seed, **_solver_kwargs(method, restarts)
+                )
+                runtimes.append(repeat_solver.solve(instance).runtime_s)
+            metrics = replace(metrics, runtime_s=sum(runtimes) / len(runtimes))
     return metrics
 
 
@@ -78,20 +99,33 @@ def _run_method(
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(scenario: Scenario, city: CityDataset | None) -> None:
+def _worker_init(
+    scenario: Scenario, city: CityDataset | None, obs_enabled: bool = False
+) -> None:
     _WORKER_STATE["scenario"] = scenario
     _WORKER_STATE["city"] = city if city is not None else scenario.build_city()
+    if obs_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+    # With a fork start method the child inherits the parent's registry
+    # contents; clear them so per-task snapshots hold only this worker's work.
+    obs.reset()
 
 
 def _worker_run(task: tuple) -> tuple:
     parameter, value, method, restarts, solver_seed, runtime_repeats = task
     scenario: Scenario = _WORKER_STATE["scenario"]
     city: CityDataset = _WORKER_STATE["city"]
+    span_attrs = {} if parameter is None else {"parameter": parameter, "value": value}
     if parameter is not None:
         scenario = scenario.with_params(**{parameter: value})
     instance = scenario.build_instance(city)
-    metrics = _run_method(method, instance, restarts, solver_seed, runtime_repeats)
-    return value, method, metrics
+    metrics = _run_method(
+        method, instance, restarts, solver_seed, runtime_repeats, span_attrs
+    )
+    snapshot = obs.take_snapshot(reset_after=True) if obs.enabled() else None
+    return value, method, metrics, snapshot
 
 
 def _run_parallel(
@@ -103,13 +137,20 @@ def _run_parallel(
     """Fan tasks out across worker processes; results keyed ``(value, method)``.
 
     ``Executor.map`` preserves submission order, so assembly is deterministic
-    regardless of completion order.
+    regardless of completion order — including the order worker metric
+    snapshots are merged into the parent registry.
     """
     with ProcessPoolExecutor(
-        max_workers=workers, initializer=_worker_init, initargs=(scenario, city)
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(scenario, city, obs.enabled()),
     ) as pool:
         completed = pool.map(_worker_run, tasks, chunksize=1)
-        return {(value, method): metrics for value, method, metrics in completed}
+        by_key = {}
+        for value, method, metrics, snapshot in completed:
+            obs.merge_snapshot(snapshot)
+            by_key[(value, method)] = metrics
+        return by_key
 
 
 def _check_workers(workers: int | None) -> int:
@@ -129,6 +170,7 @@ def run_cell(
     instance: MROAMInstance | None = None,
     runtime_repeats: int = 1,
     workers: int | None = None,
+    _span_attrs: dict | None = None,
 ) -> dict[str, CellMetrics]:
     """Run each method on one cell; returns ``{method: CellMetrics}``.
 
@@ -152,7 +194,9 @@ def run_cell(
     if instance is None:
         instance = scenario.build_instance(city)
     return {
-        method: _run_method(method, instance, restarts, solver_seed, runtime_repeats)
+        method: _run_method(
+            method, instance, restarts, solver_seed, runtime_repeats, _span_attrs
+        )
         for method in methods
     }
 
@@ -212,5 +256,6 @@ def sweep(
             restarts=restarts,
             solver_seed=solver_seed,
             runtime_repeats=runtime_repeats,
+            _span_attrs={"parameter": parameter, "value": value},
         )
     return result

@@ -1,0 +1,65 @@
+"""Observability layer: metrics registry, spans, and the JSONL run sink.
+
+Instrumented code imports this package and records unconditionally::
+
+    from repro import obs
+
+    obs.counter_add("influence.dispatch.bitmap")
+    with obs.span("coverage.build", lambda_m=lambda_m):
+        ...
+
+Collection is **off by default**: every recording call exits on one boolean
+test, so the instrumentation is safe to leave in the hottest paths.  It is
+turned on by the CLI's ``--obs-out`` / ``--obs-summary`` flags, the
+``REPRO_OBS_OUT`` environment variable (read by the CLI and the benchmark
+script), or programmatically via :func:`enable`.
+
+See ``DESIGN.md`` §8 for the metric naming scheme and merge semantics.
+"""
+
+from repro.obs.registry import (
+    OBS_OUT_ENV,
+    Histogram,
+    MetricsRegistry,
+    configured_out,
+    counter_add,
+    counter_value,
+    disable,
+    enable,
+    enabled,
+    gauge_set,
+    get_logger,
+    get_registry,
+    histogram_observe,
+    merge_snapshot,
+    record_event,
+    reset,
+    take_snapshot,
+)
+from repro.obs.sink import read_jsonl, summary_table, write_jsonl
+from repro.obs.spans import Span, span
+
+__all__ = [
+    "OBS_OUT_ENV",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "configured_out",
+    "counter_add",
+    "counter_value",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge_set",
+    "get_logger",
+    "get_registry",
+    "histogram_observe",
+    "merge_snapshot",
+    "read_jsonl",
+    "record_event",
+    "reset",
+    "span",
+    "summary_table",
+    "take_snapshot",
+    "write_jsonl",
+]

@@ -1,0 +1,234 @@
+"""Process-local metrics registry: counters, gauges, histograms, events.
+
+The registry is a single module-level object so instrumentation anywhere in
+the codebase can record into it without threading handles through every
+call signature.  All recording functions take the same fast exit when
+observability is disabled — one module-global boolean test — so the
+instrumented hot paths (influence dispatch, cache lookups, radius joins)
+pay essentially nothing in the default configuration.
+
+Three metric families:
+
+* **counters** — monotonically increasing floats/ints (``counter_add``);
+* **gauges** — last-write-wins values (``gauge_set``);
+* **histograms** — ``count/total/min/max`` summaries (``histogram_observe``),
+  also fed by completed spans with their durations.
+
+Plus an ordered **event log**: arbitrary JSON-serializable records
+(completed spans, per-solver telemetry) that the JSONL sink writes out.
+
+Worker processes collect into their own registry and ship
+:func:`take_snapshot` dicts back to the parent, which
+:func:`merge_snapshot`-s them — counter totals and histogram summaries are
+associative, so ``workers=N`` telemetry aggregates to exactly the serial
+totals for work that is deterministic per task.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+#: Environment variable naming the JSONL run-event output path.  Read by the
+#: CLI and the benchmark script (not at import time): setting it enables
+#: collection and directs :func:`repro.obs.sink.write_jsonl` output.
+OBS_OUT_ENV = "REPRO_OBS_OUT"
+
+
+class Histogram:
+    """A ``count/total/min/max`` summary of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    def merge_dict(self, other: dict) -> None:
+        if not other.get("count"):
+            return
+        self.count += int(other["count"])
+        self.total += float(other["total"])
+        self.min = min(self.min, float(other["min"]))
+        self.max = max(self.max, float(other["max"]))
+
+
+class MetricsRegistry:
+    """All metrics of one process, in insertion order."""
+
+    __slots__ = ("counters", "gauges", "histograms", "events")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.events: list[dict] = []
+
+    def histogram(self, name: str) -> Histogram:
+        found = self.histograms.get(name)
+        if found is None:
+            found = self.histograms[name] = Histogram()
+        return found
+
+
+class _ObsState:
+    __slots__ = ("enabled", "registry", "out_path", "span_stack")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.out_path: str | None = None
+        self.span_stack: list[str] = []
+
+
+_STATE = _ObsState()
+
+
+# ------------------------------------------------------------- lifecycle
+
+
+def enabled() -> bool:
+    """Whether observability collection is on in this process."""
+    return _STATE.enabled
+
+
+def enable(out: str | None = None) -> None:
+    """Turn collection on; ``out`` optionally names the JSONL sink path."""
+    _STATE.enabled = True
+    if out is not None:
+        _STATE.out_path = str(out)
+
+
+def disable() -> None:
+    """Turn collection off and drop all recorded state."""
+    _STATE.enabled = False
+    _STATE.out_path = None
+    reset()
+
+
+def reset() -> None:
+    """Clear all recorded metrics and events (collection state unchanged)."""
+    _STATE.registry = MetricsRegistry()
+    _STATE.span_stack = []
+
+
+def configured_out() -> str | None:
+    """The JSONL output path configured via :func:`enable`, if any."""
+    return _STATE.out_path
+
+
+def get_registry() -> MetricsRegistry:
+    return _STATE.registry
+
+
+# ------------------------------------------------------------- recording
+
+
+def counter_add(name: str, value: float = 1) -> None:
+    """Add ``value`` to counter ``name`` (no-op when disabled)."""
+    if not _STATE.enabled:
+        return
+    counters = _STATE.registry.counters
+    counters[name] = counters.get(name, 0) + value
+
+
+def counter_value(name: str) -> float:
+    """Current value of a counter (0 if never incremented)."""
+    return _STATE.registry.counters.get(name, 0)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op when disabled)."""
+    if not _STATE.enabled:
+        return
+    _STATE.registry.gauges[name] = value
+
+
+def histogram_observe(name: str, value: float) -> None:
+    """Record one observation into histogram ``name`` (no-op when disabled)."""
+    if not _STATE.enabled:
+        return
+    _STATE.registry.histogram(name).observe(value)
+
+
+def record_event(kind: str, **payload) -> None:
+    """Append one run event (no-op when disabled).
+
+    Events are JSON-serialized by the sink; payload values should be plain
+    Python / numpy scalars, strings, lists, or dicts.
+    """
+    if not _STATE.enabled:
+        return
+    _STATE.registry.events.append({"event": kind, "ts": time.time(), **payload})
+
+
+# ------------------------------------------------------- snapshot / merge
+
+
+def take_snapshot(reset_after: bool = False) -> dict:
+    """A picklable dict of everything recorded so far.
+
+    ``reset_after=True`` atomically clears the registry, which is how the
+    parallel harness workers ship per-task deltas back to the parent
+    without double counting across tasks.
+    """
+    registry = _STATE.registry
+    snapshot = {
+        "counters": dict(registry.counters),
+        "gauges": dict(registry.gauges),
+        "histograms": {
+            name: histogram.as_dict() for name, histogram in registry.histograms.items()
+        },
+        "events": list(registry.events),
+    }
+    if reset_after:
+        reset()
+    return snapshot
+
+
+def merge_snapshot(snapshot: dict | None) -> None:
+    """Fold a :func:`take_snapshot` dict into this process's registry.
+
+    Counters add, gauges last-write-wins, histogram summaries merge, events
+    append in call order.  No-op when disabled or for ``None`` snapshots.
+    """
+    if not _STATE.enabled or not snapshot:
+        return
+    registry = _STATE.registry
+    for name, value in snapshot.get("counters", {}).items():
+        registry.counters[name] = registry.counters.get(name, 0) + value
+    registry.gauges.update(snapshot.get("gauges", {}))
+    for name, summary in snapshot.get("histograms", {}).items():
+        registry.histogram(name).merge_dict(summary)
+    registry.events.extend(snapshot.get("events", []))
+
+
+# --------------------------------------------------------------- logging
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """The shared obs logger hierarchy (stdlib logging, never ``print``)."""
+    return logging.getLogger(name)

@@ -1,0 +1,132 @@
+"""JSONL run-event sink and the human-readable run summary.
+
+:func:`write_jsonl` dumps the event log (spans, per-solver telemetry) one
+JSON object per line, followed by final ``counters`` / ``gauges`` /
+``histograms`` snapshot lines, so a run file is self-contained: replaying
+the lines in order reconstructs both the trace and the end-of-run totals.
+
+:func:`summary_table` renders the same totals as the fixed-width table the
+CLI prints under ``--obs-summary``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs import registry as _registry
+
+
+def _jsonable(value):
+    """JSON fallback for numpy scalars and other ``.item()``-bearers."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def write_jsonl(path: str | os.PathLike) -> Path:
+    """Write all recorded events plus final metric snapshots to ``path``."""
+    registry = _registry.get_registry()
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as stream:
+        for event in registry.events:
+            stream.write(json.dumps(event, default=_jsonable) + "\n")
+        stream.write(
+            json.dumps(
+                {"event": "counters", "counters": registry.counters},
+                default=_jsonable,
+            )
+            + "\n"
+        )
+        if registry.gauges:
+            stream.write(
+                json.dumps(
+                    {"event": "gauges", "gauges": registry.gauges}, default=_jsonable
+                )
+                + "\n"
+            )
+        stream.write(
+            json.dumps(
+                {
+                    "event": "histograms",
+                    "histograms": {
+                        name: histogram.as_dict()
+                        for name, histogram in registry.histograms.items()
+                    },
+                },
+                default=_jsonable,
+            )
+            + "\n"
+        )
+    return path
+
+
+def read_jsonl(path: str | os.PathLike) -> list[dict]:
+    """Parse a run file back into its event dicts (tests, analysis)."""
+    with Path(path).open() as stream:
+        return [json.loads(line) for line in stream if line.strip()]
+
+
+def summary_table() -> str:
+    """Fixed-width end-of-run summary: counters, gauges, span timings."""
+    registry = _registry.get_registry()
+    lines = ["== observability summary =="]
+
+    counters = {
+        name: value
+        for name, value in sorted(registry.counters.items())
+    }
+    if counters:
+        lines.append("-- counters --")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            formatted = f"{value:.0f}" if float(value).is_integer() else f"{value:.3f}"
+            lines.append(f"  {name:<{width}}  {formatted:>12}")
+
+    if registry.gauges:
+        lines.append("-- gauges --")
+        width = max(len(name) for name in registry.gauges)
+        for name, value in sorted(registry.gauges.items()):
+            lines.append(f"  {name:<{width}}  {float(value):>12.3f}")
+
+    spans = {
+        name[len("span."):]: histogram
+        for name, histogram in sorted(registry.histograms.items())
+        if name.startswith("span.")
+    }
+    if spans:
+        lines.append("-- spans --")
+        width = max(len(name) for name in spans)
+        lines.append(
+            f"  {'name':<{width}}  {'count':>7}  {'total_s':>10}  {'mean_s':>10}  {'max_s':>10}"
+        )
+        for name, histogram in spans.items():
+            lines.append(
+                f"  {name:<{width}}  {histogram.count:>7}  {histogram.total:>10.4f}"
+                f"  {histogram.mean:>10.4f}  {histogram.max:>10.4f}"
+            )
+
+    others = {
+        name: histogram
+        for name, histogram in sorted(registry.histograms.items())
+        if not name.startswith("span.")
+    }
+    if others:
+        lines.append("-- histograms --")
+        width = max(len(name) for name in others)
+        lines.append(
+            f"  {'name':<{width}}  {'count':>7}  {'mean':>12}  {'min':>12}  {'max':>12}"
+        )
+        for name, histogram in others.items():
+            lines.append(
+                f"  {name:<{width}}  {histogram.count:>7}  {histogram.mean:>12.1f}"
+                f"  {histogram.min if histogram.count else 0.0:>12.1f}"
+                f"  {histogram.max if histogram.count else 0.0:>12.1f}"
+            )
+
+    if len(lines) == 1:
+        lines.append("(nothing recorded)")
+    return "\n".join(lines)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
+
 
 def _expand_slices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Concatenate ``arange(starts[i], starts[i] + counts[i])`` for all ``i``.
@@ -131,6 +133,7 @@ class GridIndex:
 
         query_hits: list[np.ndarray] = []
         point_hits: list[np.ndarray] = []
+        candidate_pairs = 0
         for dx in range(-reach, reach + 1):
             for dy in range(-reach, reach + 1):
                 tx = cells[:, 0] + dx
@@ -148,11 +151,15 @@ class GridIndex:
                 counts = self._bucket_offsets[slots + 1] - starts
                 point_ids = self._order[_expand_slices(starts, counts)]
                 pair_queries = np.repeat(query_ids, counts)
+                candidate_pairs += len(pair_queries)
                 diff = self.points[point_ids] - queries[pair_queries]
                 mask = np.sum(diff * diff, axis=1) <= radius_sq
                 if mask.any():
                     query_hits.append(pair_queries[mask])
                     point_hits.append(point_ids[mask])
+        matched_pairs = sum(len(hits) for hits in query_hits)
+        obs.counter_add("grid.join.candidate_pairs", candidate_pairs)
+        obs.counter_add("grid.join.matched_pairs", matched_pairs)
         if not query_hits:
             return empty
         return np.concatenate(query_hits), np.concatenate(point_hits)

@@ -42,4 +42,8 @@ class Stopwatch:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
+        # Stop even when an exception is propagating out of the block, and
+        # never raise from here (a "not running" error would mask the
+        # original exception if the block stopped the watch itself).
+        if self._started_at is not None:
+            self.stop()

@@ -1,0 +1,19 @@
+"""Observability test fixtures.
+
+Every test starts and ends with collection disabled and an empty registry,
+so tests can enable/instrument freely without leaking state into each other
+(or into the rest of the suite, which runs with obs off — the default).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    obs.disable()
+    yield
+    obs.disable()

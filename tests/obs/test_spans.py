@@ -1,0 +1,120 @@
+"""Span tests: no-op path, nesting, attributes, errors, JSONL round trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.spans import _NULL_SPAN
+
+
+class TestDisabledSpans:
+    def test_returns_shared_null_span(self):
+        assert obs.span("anything") is _NULL_SPAN
+        assert obs.span("other", attr=1) is _NULL_SPAN
+
+    def test_null_span_records_nothing(self):
+        with obs.span("region") as active:
+            active.set(ignored=True)
+        obs.enable()
+        assert obs.get_registry().events == []
+        assert obs.get_registry().histograms == {}
+
+
+class TestEnabledSpans:
+    def test_records_histogram_and_event(self):
+        obs.enable()
+        with obs.span("region", parameter="alpha"):
+            pass
+        histogram = obs.get_registry().histograms["span.region"]
+        assert histogram.count == 1
+        assert histogram.total >= 0.0
+        (event,) = obs.get_registry().events
+        assert event["event"] == "span"
+        assert event["name"] == "region"
+        assert event["path"] == "region"
+        assert event["duration_s"] >= 0.0
+        assert event["attrs"] == {"parameter": "alpha"}
+
+    def test_nesting_paths(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        inner, outer = obs.get_registry().events
+        assert inner["path"] == "outer.inner"
+        assert outer["path"] == "outer"
+        # Histograms key on the span's own name, not the nesting path, so
+        # serial and parallel runs aggregate identically.
+        assert set(obs.get_registry().histograms) == {"span.outer", "span.inner"}
+
+    def test_set_attaches_attributes_mid_span(self):
+        obs.enable()
+        with obs.span("region") as active:
+            active.set(rows=12)
+        (event,) = obs.get_registry().events
+        assert event["attrs"] == {"rows": 12}
+
+    def test_exception_propagates_and_is_recorded(self):
+        obs.enable()
+        with pytest.raises(ValueError, match="boom"):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        (event,) = obs.get_registry().events
+        assert event["error"] == "ValueError"
+        # The stack unwound — a following span is not nested under "failing".
+        with obs.span("after"):
+            pass
+        assert obs.get_registry().events[-1]["path"] == "after"
+
+
+class TestJsonlRoundTrip:
+    def test_events_and_snapshots_round_trip(self, tmp_path):
+        obs.enable()
+        with obs.span("coverage.build", lambda_m=100.0):
+            pass
+        obs.counter_add("influence.dispatch.idarray", np.int64(3))
+        obs.gauge_set("bitmap.bytes", np.float64(1024.0))
+        obs.histogram_observe("rows", 7)
+        obs.record_event("solver", method="BLS", telemetry={"iterations": 2})
+
+        path = obs.write_jsonl(tmp_path / "run.jsonl")
+        lines = obs.read_jsonl(path)
+
+        span_line = lines[0]
+        assert span_line["event"] == "span"
+        assert span_line["name"] == "coverage.build"
+        solver_line = lines[1]
+        assert solver_line["telemetry"] == {"iterations": 2}
+
+        by_kind = {line["event"]: line for line in lines}
+        assert by_kind["counters"]["counters"]["influence.dispatch.idarray"] == 3
+        assert by_kind["gauges"]["gauges"]["bitmap.bytes"] == 1024.0
+        assert by_kind["histograms"]["histograms"]["rows"]["count"] == 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        obs.enable()
+        path = obs.write_jsonl(tmp_path / "deep" / "nested" / "run.jsonl")
+        assert path.is_file()
+
+
+class TestSummaryTable:
+    def test_sections_and_names(self):
+        obs.enable()
+        obs.counter_add("coverage_cache.hit", 2)
+        obs.gauge_set("bitmap.bytes", 64.0)
+        with obs.span("harness.cell"):
+            pass
+        obs.histogram_observe("rows", 5)
+        table = obs.summary_table()
+        assert "-- counters --" in table
+        assert "coverage_cache.hit" in table
+        assert "-- gauges --" in table
+        assert "-- spans --" in table
+        assert "harness.cell" in table
+        assert "-- histograms --" in table
+
+    def test_empty_registry(self):
+        obs.enable()
+        assert "(nothing recorded)" in obs.summary_table()

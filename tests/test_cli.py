@@ -90,6 +90,55 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["figure", "fig10", "--billboards", "50"])
 
+    def test_cell_obs_out_and_summary(self, capsys, tmp_path):
+        from repro import obs
+
+        log_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "cell",
+                "--billboards", "40",
+                "--trajectories", "250",
+                "--p-avg", "0.1",
+                "--methods", "g-global",
+                "--restarts", "0",
+                "--seed", "2",
+                "--obs-out", str(log_path),
+                "--obs-summary",
+            ]
+        )
+        assert code == 0
+        assert not obs.enabled()  # the CLI cleans up after itself
+        out = capsys.readouterr().out
+        assert "== observability summary ==" in out
+        assert "solver.solves" in out
+        lines = obs.read_jsonl(log_path)
+        kinds = [line["event"] for line in lines]
+        assert "span" in kinds and "solver" in kinds and "counters" in kinds
+        counters = next(l for l in lines if l["event"] == "counters")["counters"]
+        assert counters["solver.solves"] == 1
+        assert counters["coverage.builds"] == 1
+
+    def test_obs_env_variable_enables_collection(self, capsys, tmp_path, monkeypatch):
+        from repro import obs
+
+        log_path = tmp_path / "env-run.jsonl"
+        monkeypatch.setenv(obs.OBS_OUT_ENV, str(log_path))
+        code = main(
+            [
+                "cell",
+                "--billboards", "40",
+                "--trajectories", "250",
+                "--p-avg", "0.1",
+                "--methods", "g-order",
+                "--restarts", "0",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        assert log_path.exists()
+        assert "wrote obs run log" in capsys.readouterr().out
+
     def test_datasets_table5(self, capsys):
         # Patch the bench scale down so the command is fast in tests.
         import repro.cli as cli_module

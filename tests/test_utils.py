@@ -71,3 +71,23 @@ class TestStopwatch:
         time.sleep(0.002)
         lap = watch.stop()
         assert lap == pytest.approx(watch.elapsed)
+
+    def test_exception_stops_watch_without_masking(self):
+        # Regression: __exit__ used to call stop() unconditionally, so an
+        # exception inside the block could be masked by a "not running"
+        # RuntimeError (and a propagating exception left the watch running).
+        watch = Stopwatch()
+        with pytest.raises(ValueError, match="boom"):
+            with watch:
+                time.sleep(0.002)
+                raise ValueError("boom")
+        assert watch.elapsed >= 0.001  # stopped, lap recorded
+        watch.start()  # not left running
+        watch.stop()
+
+    def test_block_that_stops_itself_does_not_mask(self):
+        watch = Stopwatch()
+        with pytest.raises(ValueError, match="boom"):
+            with watch:
+                watch.stop()
+                raise ValueError("boom")
