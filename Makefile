@@ -9,12 +9,16 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 ## Seconds-fast benchmark pass on a tiny city — CI wiring for the full bench.
+## bench_solvers asserts the dirty sweep engine matches the full-scan regret
+## and that parallel restarts equal serial, so divergence fails this target.
 bench-smoke:
 	$(PYTHON) scripts/bench_coverage.py --smoke --output /tmp/BENCH_coverage_smoke.json
+	$(PYTHON) scripts/bench_solvers.py --smoke --output /tmp/BENCH_solvers_smoke.json
 
-## Full coverage-kernel benchmark; rewrites BENCH_coverage.json at the root.
+## Full benchmarks; rewrite BENCH_coverage.json / BENCH_solvers.json at the root.
 bench:
 	$(PYTHON) scripts/bench_coverage.py --output BENCH_coverage.json
+	$(PYTHON) scripts/bench_solvers.py --output BENCH_solvers.json
 
 ## Syntax/bytecode gate over all Python sources (the container ships no
 ## third-party linter, so this is a stdlib-only check).

@@ -1,0 +1,187 @@
+"""Solver benchmark: dirty-set sweep engine vs full rescans, serial vs
+shared-memory parallel restarts.
+
+Times, on the PR-1 ``bls_cell`` scenario (NYC scale, seed 7):
+
+* **the BLS local-search loop** — a synchronous-greedy start refined by
+  ``billboard_driven_local_search`` with ``engine="full"`` (rescan every
+  billboard every sweep) vs ``engine="dirty"`` (version-counter certificates
+  skip provably unchanged scans; one final unrestricted sweep before
+  declaring local optimality).  Both engines must report the identical total
+  regret and accepted-move counts — the benchmark *fails* otherwise;
+* **random restarts** — ``RandomizedLocalSearch(restarts=N)`` run serially
+  vs fanned out over ``restart_workers`` processes attached to one
+  shared-memory coverage index.  The best allocation must be identical.
+
+Writes ``BENCH_solvers.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_solvers.py            # full bench
+    PYTHONPATH=src python scripts/bench_solvers.py --smoke    # seconds-fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.algorithms.bls import billboard_driven_local_search
+from repro.algorithms.greedy_global import synchronous_greedy
+from repro.algorithms.local_search import RandomizedLocalSearch
+from repro.core.allocation import Allocation
+from repro.core.problem import MROAMInstance
+from repro.market.scenario import Scenario
+
+
+def bench_sweep_engines(
+    instance: MROAMInstance, repeats: int = 3
+) -> dict:
+    """Best-of-``repeats`` timings of the BLS loop after a greedy start.
+
+    The greedy start is rebuilt (not cloned) per run so neither engine
+    benefits from warm allocation state; only the local-search loop is
+    timed.  Hard-fails unless both engines land on the identical regret and
+    accepted-move counts.
+    """
+    timings: dict = {}
+    outcomes: dict = {}
+    for engine in ("full", "dirty"):
+        best_s = float("inf")
+        for _ in range(repeats):
+            allocation = Allocation(instance)
+            synchronous_greedy(allocation)
+            stats: dict = {}
+            started = time.perf_counter()
+            billboard_driven_local_search(allocation, stats=stats, engine=engine)
+            best_s = min(best_s, time.perf_counter() - started)
+            outcomes[engine] = {
+                "total_regret": allocation.total_regret(),
+                "bls_exchanges": stats.get("bls_exchanges", 0),
+                "bls_releases": stats.get("bls_releases", 0),
+                "bls_topups": stats.get("bls_topups", 0),
+                "bls_exchange_evaluated": stats.get("bls_exchange_evaluated", 0),
+                "bls_dirty_scanned": stats.get("bls_dirty_scanned"),
+                "bls_dirty_skipped": stats.get("bls_dirty_skipped"),
+            }
+        timings[engine] = best_s
+
+    assert outcomes["dirty"]["total_regret"] == outcomes["full"]["total_regret"], (
+        "dirty engine diverged from full-scan regret: "
+        f"{outcomes['dirty']['total_regret']} != {outcomes['full']['total_regret']}"
+    )
+    for key in ("bls_exchanges", "bls_releases", "bls_topups"):
+        assert outcomes["dirty"][key] == outcomes["full"][key], (
+            f"dirty engine accepted a different move sequence ({key}: "
+            f"{outcomes['dirty'][key]} != {outcomes['full'][key]})"
+        )
+    return {
+        "full_engine_s": timings["full"],
+        "dirty_engine_s": timings["dirty"],
+        "speedup": timings["full"] / timings["dirty"]
+        if timings["dirty"] > 0
+        else float("inf"),
+        "total_regret": outcomes["dirty"]["total_regret"],
+        "full": outcomes["full"],
+        "dirty": outcomes["dirty"],
+    }
+
+
+def bench_parallel_restarts(
+    instance: MROAMInstance, restarts: int, workers: int, seed: int
+) -> dict:
+    """Serial vs shared-memory-parallel restarts; identical best allocation.
+
+    On a single-core container the parallel wall clock can exceed the serial
+    one — the numbers are reported honestly either way; the identical-result
+    assertion is the gate.
+    """
+    started = time.perf_counter()
+    serial = RandomizedLocalSearch("bls", restarts=restarts, seed=seed).solve(instance)
+    serial_s = time.perf_counter() - started
+
+    obs.enable()
+    obs.reset()
+    try:
+        started = time.perf_counter()
+        parallel = RandomizedLocalSearch(
+            "bls", restarts=restarts, seed=seed, restart_workers=workers
+        ).solve(instance)
+        parallel_s = time.perf_counter() - started
+        counters = dict(obs.get_registry().counters)
+    finally:
+        obs.disable()
+        obs.reset()
+
+    assert (
+        parallel.allocation.assignment_map() == serial.allocation.assignment_map()
+    ), "parallel restarts reached a different allocation than serial restarts"
+    assert parallel.total_regret == serial.total_regret
+    return {
+        "restarts": restarts,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "total_regret": serial.total_regret,
+        "best_restart": serial.stats.get("best_restart"),
+        "shm_attach": int(counters.get("shm.attach", 0)),
+        "shm_create": int(counters.get("shm.create", 0)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny city + few restarts (CI wiring)"
+    )
+    parser.add_argument("--output", default="BENCH_solvers.json")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scenario = Scenario(
+            dataset="nyc", n_billboards=60, n_trajectories=400, seed=args.seed
+        )
+        repeats, restarts, workers = 1, 2, 2
+    else:
+        scenario = Scenario(
+            dataset="nyc", n_billboards=800, n_trajectories=8_000, seed=args.seed
+        )
+        repeats, restarts, workers = 3, 4, 2
+
+    instance = scenario.build_instance()
+    sweep_engines = bench_sweep_engines(instance, repeats=repeats)
+    parallel = bench_parallel_restarts(
+        instance, restarts=restarts, workers=workers, seed=args.seed
+    )
+
+    report = {
+        "benchmark": "solver-sweep-engine",
+        "smoke": bool(args.smoke),
+        "scenario": {
+            "dataset": scenario.dataset,
+            "n_billboards": scenario.n_billboards,
+            "n_trajectories": scenario.n_trajectories,
+            "lambda_m": scenario.lambda_m,
+            "seed": scenario.seed,
+        },
+        "machine": {"python": platform.python_version(), "numpy": np.__version__},
+        "bls_local_search": sweep_engines,
+        "parallel_restarts": parallel,
+    }
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

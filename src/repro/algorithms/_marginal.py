@@ -21,6 +21,8 @@ def regret_values(
     payment: float, demand: float, gamma: float, achieved: np.ndarray
 ) -> np.ndarray:
     """Vectorized Eq. 1 over an array of achieved influences."""
+    if np.any(np.asarray(demand) <= 0):
+        raise ValueError("advertiser demand must be positive (Eq. 1 divides by demand)")
     achieved = np.asarray(achieved, dtype=np.float64)
     unsatisfied = payment * (1.0 - gamma * achieved / demand)
     excessive = payment * (achieved - demand) / demand

@@ -6,25 +6,32 @@ set, each candidate exchange is priced from the two influence scalars alone,
 making this the cheap-but-coarse member of the framework: it can rescue a
 plan where one advertiser hogs a large set, but cannot rebalance individual
 billboards.
+
+The default ``engine="dirty"`` skips pairs where neither advertiser's set
+changed since the pair was last priced non-improving (the delta depends only
+on the two influence scalars, so it is provably unchanged), and finishes with
+one unrestricted sweep; ``engine="full"`` is the reference loop.  Both accept
+the identical exchange sequence.
 """
 
 from __future__ import annotations
 
+from repro.algorithms.sweep import PairSweepState
 from repro.core.allocation import Allocation
 from repro.core.moves import delta_exchange_sets
 
+SWEEP_ENGINES = ("dirty", "full")
 
-def advertiser_driven_local_search(
-    allocation: Allocation,
-    min_improvement: float = 1e-9,
-    stats: dict | None = None,
+
+def _emit_stats(stats: dict, sweeps: int, exchanges: int, evaluated: int) -> None:
+    stats["als_sweeps"] = stats.get("als_sweeps", 0) + sweeps
+    stats["als_exchanges"] = stats.get("als_exchanges", 0) + exchanges
+    stats["als_moves_evaluated"] = stats.get("als_moves_evaluated", 0) + evaluated
+
+
+def _full_engine(
+    allocation: Allocation, min_improvement: float, stats: dict | None
 ) -> Allocation:
-    """Run Algorithm 4 in place; returns the same (improved) allocation.
-
-    Sweeps all ordered advertiser pairs, applying any set exchange that
-    strictly reduces total regret, until a full sweep finds no improving
-    exchange.  ``min_improvement`` guards against float-noise cycling.
-    """
     num_advertisers = allocation.instance.num_advertisers
     sweeps = 0
     exchanges = 0
@@ -42,7 +49,62 @@ def advertiser_driven_local_search(
                     exchanges += 1
                     improved = True
     if stats is not None:
-        stats["als_sweeps"] = stats.get("als_sweeps", 0) + sweeps
-        stats["als_exchanges"] = stats.get("als_exchanges", 0) + exchanges
-        stats["als_moves_evaluated"] = stats.get("als_moves_evaluated", 0) + evaluated
+        _emit_stats(stats, sweeps, exchanges, evaluated)
     return allocation
+
+
+def _dirty_engine(
+    allocation: Allocation, min_improvement: float, stats: dict | None
+) -> Allocation:
+    num_advertisers = allocation.instance.num_advertisers
+    state = PairSweepState(num_advertisers)
+    sweeps = 0
+    exchanges = 0
+    evaluated = 0
+    verifying = False
+    while True:
+        improved = False
+        sweeps += 1
+        for advertiser_a in range(num_advertisers):
+            for advertiser_b in range(advertiser_a + 1, num_advertisers):
+                if not verifying and state.pair_clean(advertiser_a, advertiser_b):
+                    continue
+                delta = delta_exchange_sets(allocation, advertiser_a, advertiser_b)
+                evaluated += 1
+                if delta < -min_improvement:
+                    allocation.exchange_sets(advertiser_a, advertiser_b)
+                    state.mark_exchange(advertiser_a, advertiser_b)
+                    exchanges += 1
+                    improved = True
+                else:
+                    state.certify_pair(advertiser_a, advertiser_b)
+        if improved:
+            verifying = False
+            continue
+        if verifying:
+            break  # the unrestricted sweep found nothing: local optimum
+        verifying = True
+    if stats is not None:
+        _emit_stats(stats, sweeps, exchanges, evaluated)
+    return allocation
+
+
+def advertiser_driven_local_search(
+    allocation: Allocation,
+    min_improvement: float = 1e-9,
+    stats: dict | None = None,
+    engine: str = "dirty",
+) -> Allocation:
+    """Run Algorithm 4 in place; returns the same (improved) allocation.
+
+    Sweeps all ordered advertiser pairs, applying any set exchange that
+    strictly reduces total regret, until a full sweep finds no improving
+    exchange.  ``min_improvement`` guards against float-noise cycling.
+    ``engine`` selects the sweep bookkeeping (see module docstring); the
+    resulting allocation is identical either way.
+    """
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {SWEEP_ENGINES}")
+    if engine == "full":
+        return _full_engine(allocation, min_improvement, stats)
+    return _dirty_engine(allocation, min_improvement, stats)

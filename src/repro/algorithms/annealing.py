@@ -6,6 +6,13 @@ neighbourhood — assign, release, exchange — but accepts worsening moves with
 Metropolis probability ``exp(−Δ/T)`` under a geometric cooling schedule.
 Included to let users check whether MROAM's landscape rewards the paper's
 choice (the ablation bench compares the two at matched budgets).
+
+``restarts > 1`` runs that many independent chains (seeds spawned from the
+solver seed) and keeps the best plan seen across them; ``restart_workers``
+fans the chains out over processes that attach the coverage index through
+shared memory (:mod:`repro.parallel`).  The serial and parallel paths run
+the same chains from the same spawned seeds, so they return the identical
+best allocation.
 """
 
 from __future__ import annotations
@@ -19,7 +26,93 @@ from repro.algorithms.greedy_global import SynchronousGreedy
 from repro.core.allocation import UNASSIGNED, Allocation
 from repro.core.moves import delta_assign, delta_exchange_billboards, delta_release
 from repro.core.problem import MROAMInstance
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, spawn_children
+
+
+def _propose(allocation: Allocation, rng: np.random.Generator):
+    """One random move as ``(delta, apply_callable)`` or ``None``."""
+    instance = allocation.instance
+    kind = rng.integers(0, 3)
+    if kind == 0 and allocation.unassigned:  # assign
+        billboard_id = int(rng.choice(sorted(allocation.unassigned)))
+        advertiser_id = int(rng.integers(instance.num_advertisers))
+        delta = delta_assign(allocation, billboard_id, advertiser_id)
+        return delta, lambda: allocation.assign(billboard_id, advertiser_id)
+    if kind == 1:  # release
+        assigned = np.nonzero(allocation.owners != UNASSIGNED)[0]
+        if len(assigned) == 0:
+            return None
+        billboard_id = int(rng.choice(assigned))
+        delta = delta_release(allocation, billboard_id)
+        return delta, lambda: allocation.release(billboard_id)
+    # exchange two random billboards (possibly one unassigned)
+    billboard_a, billboard_b = rng.integers(0, instance.num_billboards, size=2)
+    if billboard_a == billboard_b:
+        return None
+    if allocation.owner_of(int(billboard_a)) == allocation.owner_of(int(billboard_b)):
+        return None
+    delta = delta_exchange_billboards(allocation, int(billboard_a), int(billboard_b))
+    return delta, lambda: allocation.exchange_billboards(
+        int(billboard_a), int(billboard_b)
+    )
+
+
+def anneal_chain(
+    instance: MROAMInstance,
+    steps: int,
+    initial_temperature: float | None,
+    cooling: float,
+    rng,
+) -> dict:
+    """One Metropolis chain from the greedy start.
+
+    Returns a plain dict (picklable, modulo the allocation) with the best
+    plan, its regret, the acceptance count, the final temperature, and the
+    telemetry samples ``(best_regret, proposed, accepted_delta)`` — the chain
+    itself records nothing, so it runs identically inside a worker process
+    and in the solver's own process.
+    """
+    rng = as_generator(rng)
+    allocation = SynchronousGreedy().solve(instance).allocation
+    current_regret = allocation.total_regret()
+    best = allocation.clone()
+    best_regret = current_regret
+
+    temperature = initial_temperature
+    if temperature is None:
+        scale = current_regret if current_regret > 0 else instance.total_payment()
+        temperature = max(0.05 * scale, 1e-6)
+
+    accepted = 0
+    # Telemetry sampling window: ~100 convergence points per chain.
+    sample_every = max(1, steps // 100)
+    steps_since_sample = 0
+    accepted_at_sample = 0
+    samples = []
+    for step in range(steps):
+        proposal = _propose(allocation, rng)
+        temperature *= cooling
+        if proposal is not None:
+            delta, apply_move = proposal
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+                apply_move()
+                current_regret += delta
+                accepted += 1
+                if current_regret < best_regret - 1e-12:
+                    best_regret = current_regret
+                    best = allocation.clone()
+        steps_since_sample += 1
+        if steps_since_sample == sample_every or step + 1 == steps:
+            samples.append((best_regret, steps_since_sample, accepted - accepted_at_sample))
+            steps_since_sample = 0
+            accepted_at_sample = accepted
+    return {
+        "best": best,
+        "best_regret": best_regret,
+        "accepted": accepted,
+        "final_temperature": temperature,
+        "samples": samples,
+    }
 
 
 class SimulatedAnnealingSolver(Solver):
@@ -28,7 +121,7 @@ class SimulatedAnnealingSolver(Solver):
     Parameters
     ----------
     steps:
-        Number of proposed moves.
+        Number of proposed moves per chain.
     initial_temperature:
         Starting temperature, in regret units.  ``None`` self-calibrates to
         a fraction of the greedy plan's regret (or of the total payment when
@@ -37,6 +130,14 @@ class SimulatedAnnealingSolver(Solver):
         Geometric decay per step (``T ← T · cooling``).
     seed:
         RNG seed or generator.
+    restarts:
+        Number of independent chains; the best plan across chains wins
+        (first chain wins ties).  ``1`` (default) preserves the classic
+        single-chain behaviour bit-for-bit.
+    restart_workers:
+        Fan chains out over this many processes attached to a shared-memory
+        coverage index; ``None``/``1`` runs them serially.  Same result
+        either way.
     """
 
     name = "SA"
@@ -47,85 +148,81 @@ class SimulatedAnnealingSolver(Solver):
         initial_temperature: float | None = None,
         cooling: float = 0.9995,
         seed=None,
+        restarts: int = 1,
+        restart_workers: int | None = None,
     ) -> None:
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
         if not 0.0 < cooling <= 1.0:
             raise ValueError(f"cooling must be in (0, 1], got {cooling}")
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        if restart_workers is not None and restart_workers < 1:
+            raise ValueError(
+                f"restart_workers must be >= 1, got {restart_workers}"
+            )
         self.steps = steps
         self.initial_temperature = initial_temperature
         self.cooling = cooling
         self.seed = seed
-
-    def _propose(self, allocation: Allocation, rng: np.random.Generator):
-        """One random move as ``(delta, apply_callable)`` or ``None``."""
-        instance = allocation.instance
-        kind = rng.integers(0, 3)
-        if kind == 0 and allocation.unassigned:  # assign
-            billboard_id = int(rng.choice(sorted(allocation.unassigned)))
-            advertiser_id = int(rng.integers(instance.num_advertisers))
-            delta = delta_assign(allocation, billboard_id, advertiser_id)
-            return delta, lambda: allocation.assign(billboard_id, advertiser_id)
-        if kind == 1:  # release
-            assigned = np.nonzero(allocation.owners != UNASSIGNED)[0]
-            if len(assigned) == 0:
-                return None
-            billboard_id = int(rng.choice(assigned))
-            delta = delta_release(allocation, billboard_id)
-            return delta, lambda: allocation.release(billboard_id)
-        # exchange two random billboards (possibly one unassigned)
-        billboard_a, billboard_b = rng.integers(0, instance.num_billboards, size=2)
-        if billboard_a == billboard_b:
-            return None
-        if allocation.owner_of(int(billboard_a)) == allocation.owner_of(int(billboard_b)):
-            return None
-        delta = delta_exchange_billboards(allocation, int(billboard_a), int(billboard_b))
-        return delta, lambda: allocation.exchange_billboards(
-            int(billboard_a), int(billboard_b)
-        )
+        self.restarts = restarts
+        self.restart_workers = restart_workers
 
     def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
-        rng = as_generator(self.seed)
-        allocation = SynchronousGreedy().solve(instance).allocation
-        current_regret = allocation.total_regret()
-        best = allocation.clone()
-        best_regret = current_regret
-
-        temperature = self.initial_temperature
-        if temperature is None:
-            scale = current_regret if current_regret > 0 else instance.total_payment()
-            temperature = max(0.05 * scale, 1e-6)
-
-        accepted = 0
-        # Telemetry sampling window: ~100 convergence points per run.
-        sample_every = max(1, self.steps // 100)
-        steps_since_sample = 0
-        accepted_at_sample = 0
-        for step in range(self.steps):
-            proposal = self._propose(allocation, rng)
-            temperature *= self.cooling
-            if proposal is not None:
-                delta, apply_move = proposal
-                if delta <= 0 or rng.random() < math.exp(
-                    -delta / max(temperature, 1e-12)
-                ):
-                    apply_move()
-                    current_regret += delta
-                    accepted += 1
-                    if current_regret < best_regret - 1e-12:
-                        best_regret = current_regret
-                        best = allocation.clone()
-            steps_since_sample += 1
-            if steps_since_sample == sample_every or step + 1 == self.steps:
-                self.record_iteration(
-                    best_regret,
-                    moves_evaluated=steps_since_sample,
-                    moves_accepted=accepted - accepted_at_sample,
+        if self.restarts == 1:
+            chains = [
+                anneal_chain(
+                    instance,
+                    self.steps,
+                    self.initial_temperature,
+                    self.cooling,
+                    as_generator(self.seed),
                 )
-                steps_since_sample = 0
-                accepted_at_sample = accepted
+            ]
+        else:
+            seeds = spawn_children(self.seed, self.restarts)
+            if self.restart_workers is not None and self.restart_workers > 1:
+                from repro.parallel.restarts import run_annealing_chains
 
-        stats["sa_steps"] = self.steps
+                chains = run_annealing_chains(
+                    instance,
+                    seeds,
+                    steps=self.steps,
+                    initial_temperature=self.initial_temperature,
+                    cooling=self.cooling,
+                    workers=self.restart_workers,
+                )
+            else:
+                chains = [
+                    anneal_chain(
+                        instance,
+                        self.steps,
+                        self.initial_temperature,
+                        self.cooling,
+                        chain_seed,
+                    )
+                    for chain_seed in seeds
+                ]
+
+        best = None
+        best_regret = math.inf
+        accepted = 0
+        for index, chain in enumerate(chains):
+            for best_so_far, proposed, accepted_delta in chain["samples"]:
+                self.record_iteration(
+                    min(best_regret, best_so_far),
+                    moves_evaluated=proposed,
+                    moves_accepted=accepted_delta,
+                )
+            accepted += chain["accepted"]
+            if chain["best_regret"] < best_regret:
+                best = chain["best"]
+                best_regret = chain["best_regret"]
+                stats["sa_best_restart"] = index
+
+        stats["sa_steps"] = self.steps * self.restarts
         stats["sa_accepted"] = accepted
-        stats["sa_final_temperature"] = temperature
+        stats["sa_final_temperature"] = chains[-1]["final_temperature"]
+        if self.restarts > 1:
+            stats["sa_restarts"] = self.restarts
         return best

@@ -20,16 +20,33 @@ that interval upper-bounds the move's improvement.  Candidates are exactly
 evaluated in descending bound order; once bounds fall below the improvement
 threshold, no improving exchange can exist among the rest.  Termination at a
 genuine local minimum is therefore preserved.
+
+Two sweep engines drive the move families:
+
+* ``engine="full"`` — the reference loop: every sweep rescans every assigned
+  billboard.
+* ``engine="dirty"`` (default) — the dirty-set engine: version counters
+  (:mod:`repro.algorithms.sweep`) certify which scans provably cannot find a
+  move since nothing near them changed, and an interval screen discards
+  candidates whose optimistic bound already falls below the acceptance
+  threshold.  Skipped work is *proof-backed*, so both engines accept the
+  identical move sequence and reach the identical allocation; the dirty
+  engine still finishes with one unrestricted sweep before declaring local
+  optimality (DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms._marginal import regret_values
 from repro.algorithms.greedy_global import synchronous_greedy
+from repro.algorithms.sweep import BillboardSweepState
 from repro.core.allocation import UNASSIGNED, Allocation
 from repro.core.moves import delta_release
+
+SWEEP_ENGINES = ("dirty", "full")
 
 
 def _optimistic_regret(
@@ -45,6 +62,8 @@ def _optimistic_regret(
     demand, and increases in the excessive branch, so the minimum is at the
     point of the interval closest to the demand.
     """
+    if np.any(np.asarray(demands) <= 0):
+        raise ValueError("advertiser demands must be positive (Eq. 1 divides by demand)")
     lo = np.maximum(lo, 0.0)
     hi = np.maximum(hi, lo)
     at_hi = payments * (1.0 - gamma * hi / demands)  # still unsatisfied at hi
@@ -77,6 +96,116 @@ def _partner_swap_delta(
     )
 
 
+def _select_partner(
+    allocation: Allocation,
+    advertiser_id: int,
+    billboard_id: int,
+    own_regret: float,
+    released_influence: float,
+    gains: np.ndarray,
+    min_improvement: float,
+    counters: dict | None,
+) -> int | None:
+    """Pick the best exchange partner given the own-side batch gains.
+
+    ``gains[c]`` must price ``S_i − o_m + o_c`` for every candidate ``c``
+    (both scan variants produce exactly this); everything downstream — the
+    candidate mask, the free-side argmin, the bound-ordered partner
+    confirmation — is shared so the two variants cannot drift apart.
+    """
+    instance = allocation.instance
+    individual = instance.coverage.individual_influences.astype(np.float64)
+    advertiser = instance.advertisers[advertiser_id]
+
+    owners = allocation.owners
+    candidates = np.arange(instance.num_billboards)
+    mask = (candidates != billboard_id) & (owners != advertiser_id)
+    candidates = candidates[mask]
+    candidate_owners = owners[candidates].copy()
+    if counters is not None:
+        counters["exchange_evaluated"] = counters.get("exchange_evaluated", 0) + len(
+            candidates
+        )
+
+    own_new = released_influence + gains[candidates].astype(np.float64)
+    own_delta = (
+        regret_values(
+            advertiser.payment, float(advertiser.demand), instance.gamma, own_new
+        )
+        - own_regret
+    )
+
+    assigned = candidate_owners != UNASSIGNED
+    free = ~assigned
+
+    # Free candidates: the own-side delta is the whole story.
+    best_free: int | None = None
+    best_free_delta = -min_improvement
+    if free.any():
+        free_deltas = own_delta[free]
+        position = int(np.argmin(free_deltas))
+        if free_deltas[position] < best_free_delta:
+            best_free = int(candidates[free][position])
+            best_free_delta = float(free_deltas[position])
+
+    # Assigned candidates: add an optimistic partner-side bound, then
+    # confirm exactly in descending-bound order.
+    best_assigned: int | None = None
+    best_assigned_delta = -min_improvement
+    if assigned.any():
+        all_influences = allocation.influences.astype(np.float64)
+        regret_by_advertiser = regret_values(
+            instance.payments, instance.demands, instance.gamma, all_influences
+        )
+        partner_ids = candidate_owners[assigned]
+        partner_influence = all_influences[partner_ids]
+        partner_regret = regret_by_advertiser[partner_ids]
+        # Partner j loses o_n and gains o_m: influence lands in
+        # [v_j - I(o_n), v_j + I(o_m)].
+        lo = partner_influence - individual[candidates[assigned]]
+        hi = partner_influence + float(individual[billboard_id])
+        partner_best = _optimistic_regret(
+            instance.payments[partner_ids],
+            instance.demands[partner_ids],
+            instance.gamma,
+            lo,
+            hi,
+        )
+        improvement_bound = -(own_delta[assigned] + (partner_best - partner_regret))
+
+        assigned_candidates = candidates[assigned]
+        order = np.argsort(-improvement_bound)
+        for position in order:
+            if improvement_bound[position] <= -best_assigned_delta:
+                break
+            partner_billboard = int(assigned_candidates[position])
+            partner_id = int(partner_ids[position])
+            if counters is not None:
+                counters["partner_exact"] = counters.get("partner_exact", 0) + 1
+            influence_delta = _partner_swap_delta(
+                allocation, partner_id, partner_billboard, billboard_id
+            )
+            partner_delta = (
+                instance.regret_of(
+                    partner_id, allocation.influence(partner_id) + influence_delta
+                )
+                - regret_by_advertiser[partner_id]
+            )
+            total = float(own_delta[assigned][position]) + partner_delta
+            if total < best_assigned_delta:
+                best_assigned = partner_billboard
+                best_assigned_delta = total
+                break  # first confirmed improvement wins
+
+    if best_free is None and best_assigned is None:
+        return None
+    if best_assigned is None:
+        return best_free
+    if best_free is None:
+        return best_assigned
+    return best_free if best_free_delta <= best_assigned_delta else best_assigned
+
+
 def _find_improving_exchange(
     allocation: Allocation,
     advertiser_id: int,
@@ -95,9 +224,6 @@ def _find_improving_exchange(
     """
     instance = allocation.instance
     coverage = instance.coverage
-    individual = coverage.individual_influences.astype(np.float64)
-
-    advertiser = instance.advertisers[advertiser_id]
     own_influence = float(allocation.influence(advertiser_id))
     own_regret = instance.regret_of(advertiser_id, own_influence)
 
@@ -111,118 +237,154 @@ def _find_improving_exchange(
             allocation.counts_row(advertiser_id),
             free_bits=masks[0] if masks is not None else None,
         )
-
-        owners = allocation.owners
-        candidates = np.arange(instance.num_billboards)
-        mask = (candidates != billboard_id) & (owners != advertiser_id)
-        candidates = candidates[mask]
-        candidate_owners = owners[candidates].copy()
-        if counters is not None:
-            counters["evaluated"] = counters.get("evaluated", 0) + len(candidates)
-
-        own_new = released_influence + gains[candidates].astype(np.float64)
-        own_delta = (
-            regret_values(
-                advertiser.payment, float(advertiser.demand), instance.gamma, own_new
-            )
-            - own_regret
+        return _select_partner(
+            allocation,
+            advertiser_id,
+            billboard_id,
+            own_regret,
+            released_influence,
+            gains,
+            min_improvement,
+            counters,
         )
-
-        assigned = candidate_owners != UNASSIGNED
-        free = ~assigned
-
-        # Free candidates: the own-side delta is the whole story.
-        best_free: int | None = None
-        best_free_delta = -min_improvement
-        if free.any():
-            free_deltas = own_delta[free]
-            position = int(np.argmin(free_deltas))
-            if free_deltas[position] < best_free_delta:
-                best_free = int(candidates[free][position])
-                best_free_delta = float(free_deltas[position])
-
-        # Assigned candidates: add an optimistic partner-side bound, then
-        # confirm exactly in descending-bound order.
-        best_assigned: int | None = None
-        best_assigned_delta = -min_improvement
-        if assigned.any():
-            all_influences = allocation.influences.astype(np.float64)
-            regret_by_advertiser = regret_values(
-                instance.payments, instance.demands, instance.gamma, all_influences
-            )
-            partner_ids = candidate_owners[assigned]
-            partner_influence = all_influences[partner_ids]
-            partner_regret = regret_by_advertiser[partner_ids]
-            # Partner j loses o_n and gains o_m: influence lands in
-            # [v_j - I(o_n), v_j + I(o_m)].
-            lo = partner_influence - individual[candidates[assigned]]
-            hi = partner_influence + float(individual[billboard_id])
-            partner_best = _optimistic_regret(
-                instance.payments[partner_ids],
-                instance.demands[partner_ids],
-                instance.gamma,
-                lo,
-                hi,
-            )
-            improvement_bound = -(own_delta[assigned] + (partner_best - partner_regret))
-
-            assigned_candidates = candidates[assigned]
-            order = np.argsort(-improvement_bound)
-            for position in order:
-                if improvement_bound[position] <= -best_assigned_delta:
-                    break
-                partner_billboard = int(assigned_candidates[position])
-                partner_id = int(partner_ids[position])
-                if counters is not None:
-                    counters["partner_exact"] = counters.get("partner_exact", 0) + 1
-                influence_delta = _partner_swap_delta(
-                    allocation, partner_id, partner_billboard, billboard_id
-                )
-                partner_delta = (
-                    instance.regret_of(
-                        partner_id, allocation.influence(partner_id) + influence_delta
-                    )
-                    - regret_by_advertiser[partner_id]
-                )
-                total = float(own_delta[assigned][position]) + partner_delta
-                if total < best_assigned_delta:
-                    best_assigned = partner_billboard
-                    best_assigned_delta = total
-                    break  # first confirmed improvement wins
     finally:
         allocation.assign(billboard_id, advertiser_id)
 
-    if best_free is None and best_assigned is None:
-        return None
-    if best_assigned is None:
-        return best_free
-    if best_free is None:
-        return best_assigned
-    return best_free if best_free_delta <= best_assigned_delta else best_assigned
 
-
-def billboard_driven_local_search(
+def _find_improving_exchange_frozen(
     allocation: Allocation,
-    min_improvement: float = 1e-9,
-    max_sweeps: int | None = None,
-    stats: dict | None = None,
-) -> Allocation:
-    """Run Algorithm 5; returns the improved allocation (may be a new object).
+    advertiser_id: int,
+    billboard_id: int,
+    min_improvement: float,
+    counters: dict | None = None,
+) -> int | None:
+    """:func:`_find_improving_exchange` without the release/assign round trip.
 
-    Parameters
-    ----------
-    allocation:
-        Starting plan; mutated in place for move families 1–3.
-    min_improvement:
-        Minimum absolute regret reduction for a move to be accepted.  This is
-        the ``r``-style improvement threshold of Definition 6.1 (expressed
-        absolutely rather than relatively) and also guards against
-        float-noise cycling.
-    max_sweeps:
-        Optional hard cap on full sweeps (None = run to local optimality).
-    stats:
-        Optional output dict receiving move counters.
+    Prices the released state analytically — the own-side gains come from
+    :meth:`CoverageIndex.batch_add_gains_without` against the *unmodified*
+    counter row, so the allocation (and its cached packed masks) is never
+    touched.  Returns the identical partner: the candidate mask is unchanged
+    (``billboard_id`` is excluded either way), the gain integers are equal by
+    construction, and the shared :func:`_select_partner` does the rest.
     """
+    instance = allocation.instance
+    coverage = instance.coverage
+    own_influence = float(allocation.influence(advertiser_id))
+    own_regret = instance.regret_of(advertiser_id, own_influence)
+    released_influence = own_influence - float(
+        allocation.influence_delta_remove(advertiser_id, billboard_id)
+    )
+    masks = allocation.packed_masks(advertiser_id)
+    gains = coverage.batch_add_gains_without(
+        allocation.counts_row(advertiser_id),
+        billboard_id,
+        free_bits=masks[0] if masks is not None else None,
+        ones_bits=masks[1] if masks is not None else None,
+    )
+    return _select_partner(
+        allocation,
+        advertiser_id,
+        billboard_id,
+        own_regret,
+        released_influence,
+        gains,
+        min_improvement,
+        counters,
+    )
+
+
+def _exchange_screen(
+    allocation: Allocation,
+    advertiser_id: int,
+    billboard_id: int,
+    candidate_ids: np.ndarray,
+    min_improvement: float,
+) -> bool:
+    """Optimistic gate over a candidate set: ``False`` proves that exchanging
+    ``billboard_id`` with *any* of ``candidate_ids`` improves total regret by
+    at most ``min_improvement`` — the exact scan would return ``None``.
+
+    Uses the same interval bounds the exact scan prunes with: the own side
+    lands in ``[v_i − I(o_m), v_i + I(o_n)]`` and an assigned partner in
+    ``[v_j − I(o_n), v_j + I(o_m)]``, so the summed best-case regret drop
+    upper-bounds the true improvement.  Costs a handful of vectorized passes,
+    no coverage queries.
+    """
+    if len(candidate_ids) == 0:
+        return False
+    instance = allocation.instance
+    individual = instance.coverage.individual_influences.astype(np.float64)
+    advertiser = instance.advertisers[advertiser_id]
+    own_influence = float(allocation.influence(advertiser_id))
+    own_regret = instance.regret_of(advertiser_id, own_influence)
+
+    count = len(candidate_ids)
+    lo = np.full(count, own_influence - float(individual[billboard_id]))
+    hi = own_influence + individual[candidate_ids]
+    own_best = _optimistic_regret(
+        np.full(count, advertiser.payment),
+        np.full(count, float(advertiser.demand)),
+        instance.gamma,
+        lo,
+        hi,
+    )
+    potential = own_regret - own_best
+
+    candidate_owners = allocation.owners[candidate_ids]
+    assigned = candidate_owners != UNASSIGNED
+    if assigned.any():
+        partner_ids = candidate_owners[assigned]
+        all_influences = allocation.influences.astype(np.float64)
+        partner_influence = all_influences[partner_ids]
+        partner_regret = regret_values(
+            instance.payments[partner_ids],
+            instance.demands[partner_ids],
+            instance.gamma,
+            partner_influence,
+        )
+        partner_best = _optimistic_regret(
+            instance.payments[partner_ids],
+            instance.demands[partner_ids],
+            instance.gamma,
+            partner_influence - individual[candidate_ids[assigned]],
+            partner_influence + float(individual[billboard_id]),
+        )
+        potential[assigned] += partner_regret - partner_best
+    return bool(np.any(potential > min_improvement))
+
+
+def _all_exchange_candidates(
+    owners: np.ndarray, advertiser_id: int, billboard_id: int
+) -> np.ndarray:
+    """Every legal exchange partner of ``billboard_id`` (the full scan's mask)."""
+    mask = owners != advertiser_id
+    mask[billboard_id] = False
+    return np.nonzero(mask)[0]
+
+
+def _emit_stats(stats: dict, sweeps, exchanges, releases, topups, counters) -> None:
+    stats["bls_sweeps"] = stats.get("bls_sweeps", 0) + sweeps
+    stats["bls_exchanges"] = stats.get("bls_exchanges", 0) + exchanges
+    stats["bls_releases"] = stats.get("bls_releases", 0) + releases
+    stats["bls_topups"] = stats.get("bls_topups", 0) + topups
+    stats["bls_exchange_evaluated"] = stats.get(
+        "bls_exchange_evaluated", 0
+    ) + counters.get("exchange_evaluated", 0)
+    stats["bls_release_evaluated"] = stats.get(
+        "bls_release_evaluated", 0
+    ) + counters.get("release_evaluated", 0)
+    stats["bls_partner_exact_evals"] = stats.get(
+        "bls_partner_exact_evals", 0
+    ) + counters.get("partner_exact", 0)
+
+
+def _full_engine(
+    allocation: Allocation,
+    min_improvement: float,
+    max_sweeps: int | None,
+    stats: dict | None,
+) -> Allocation:
+    """The reference sweep loop: rescan everything, every sweep."""
     instance = allocation.instance
     sweeps = 0
     exchanges = 0
@@ -250,7 +412,9 @@ def billboard_driven_local_search(
         # Move family 3: releases.
         for advertiser_id in range(instance.num_advertisers):
             for billboard_id in sorted(allocation.billboards_of(advertiser_id)):
-                counters["evaluated"] = counters.get("evaluated", 0) + 1
+                counters["release_evaluated"] = (
+                    counters.get("release_evaluated", 0) + 1
+                )
                 if delta_release(allocation, billboard_id) < -min_improvement:
                     allocation.release(billboard_id)
                     releases += 1
@@ -270,14 +434,166 @@ def billboard_driven_local_search(
             break
 
     if stats is not None:
-        stats["bls_sweeps"] = stats.get("bls_sweeps", 0) + sweeps
-        stats["bls_exchanges"] = stats.get("bls_exchanges", 0) + exchanges
-        stats["bls_releases"] = stats.get("bls_releases", 0) + releases
-        stats["bls_topups"] = stats.get("bls_topups", 0) + topups
-        stats["bls_moves_evaluated"] = stats.get("bls_moves_evaluated", 0) + counters.get(
-            "evaluated", 0
-        )
-        stats["bls_partner_exact_evals"] = stats.get(
-            "bls_partner_exact_evals", 0
-        ) + counters.get("partner_exact", 0)
+        _emit_stats(stats, sweeps, exchanges, releases, topups, counters)
     return allocation
+
+
+def _dirty_engine(
+    allocation: Allocation,
+    min_improvement: float,
+    max_sweeps: int | None,
+    stats: dict | None,
+) -> Allocation:
+    """The dirty-set sweep loop (see module docstring and DESIGN.md §9).
+
+    Accepts exactly the moves the full engine accepts: every skipped scan is
+    backed by a version certificate or an interval-screen proof that the full
+    scan would have returned ``None`` there, and termination requires one
+    final sweep with the certificates disabled.
+    """
+    instance = allocation.instance
+    state = BillboardSweepState(instance.num_advertisers, instance.num_billboards)
+    sweeps = 0
+    exchanges = 0
+    releases = 0
+    topups = 0
+    scanned = 0
+    skipped = 0
+    counters: dict = {}
+    verifying = False
+
+    while True:
+        sweeps += 1
+        improved = False
+
+        # Move families 1 & 2: pairwise and assigned↔free exchanges.
+        for advertiser_id in range(instance.num_advertisers):
+            for billboard_id in sorted(allocation.billboards_of(advertiser_id)):
+                if allocation.owner_of(billboard_id) != advertiser_id:
+                    continue  # already moved earlier in this sweep
+                owners = allocation.owners
+                if verifying or state.own_side_stale(advertiser_id, billboard_id):
+                    screen_ids = _all_exchange_candidates(
+                        owners, advertiser_id, billboard_id
+                    )
+                else:
+                    screen_ids = state.changed_candidates(
+                        billboard_id, owners, advertiser_id
+                    )
+                if not _exchange_screen(
+                    allocation, advertiser_id, billboard_id, screen_ids, min_improvement
+                ):
+                    skipped += 1
+                    state.certify_scan(billboard_id)
+                    continue
+                scanned += 1
+                partner = _find_improving_exchange_frozen(
+                    allocation, advertiser_id, billboard_id, min_improvement, counters
+                )
+                if partner is None:
+                    state.certify_scan(billboard_id)
+                    continue
+                partner_owner = allocation.owner_of(partner)
+                allocation.exchange_billboards(billboard_id, partner)
+                if partner_owner == UNASSIGNED:
+                    # Family 2: billboard_id itself returns to the free pool.
+                    state.mark_move(
+                        advertisers=(advertiser_id,), freed=(billboard_id,)
+                    )
+                else:
+                    state.mark_move(advertisers=(advertiser_id, partner_owner))
+                exchanges += 1
+                improved = True
+
+        # Move family 3: releases.  An advertiser's pass depends only on its
+        # own set, so it is skipped while its certificate holds.
+        for advertiser_id in range(instance.num_advertisers):
+            if not verifying and state.release_pass_clean(advertiser_id):
+                continue
+            accepted_any = False
+            for billboard_id in sorted(allocation.billboards_of(advertiser_id)):
+                counters["release_evaluated"] = (
+                    counters.get("release_evaluated", 0) + 1
+                )
+                if delta_release(allocation, billboard_id) < -min_improvement:
+                    allocation.release(billboard_id)
+                    state.mark_move(
+                        advertisers=(advertiser_id,), freed=(billboard_id,)
+                    )
+                    releases += 1
+                    accepted_any = True
+                    improved = True
+            if not accepted_any:
+                state.certify_release_pass(advertiser_id)
+
+        # Move family 4: greedy top-up.  The greedy is deterministic in the
+        # allocation, so it is re-run whenever the pool is non-empty (exactly
+        # like the full engine) and its adoptions mark every advertiser whose
+        # set it extended.
+        if allocation.unassigned:
+            candidate = allocation.clone()
+            synchronous_greedy(candidate)
+            if candidate.total_regret() < allocation.total_regret() - min_improvement:
+                old_owners = allocation.owners.copy()
+                allocation = candidate
+                changed = np.nonzero(old_owners != allocation.owners)[0]
+                affected = {
+                    int(owner)
+                    for billboard in changed
+                    for owner in (old_owners[billboard], allocation.owners[billboard])
+                    if owner != UNASSIGNED
+                }
+                state.mark_move(advertisers=sorted(affected))
+                topups += 1
+                improved = True
+
+        if max_sweeps is not None and sweeps >= max_sweeps:
+            break
+        if improved:
+            verifying = False
+            continue
+        if verifying:
+            break  # the unrestricted sweep found nothing: local optimum
+        verifying = True
+
+    obs.counter_add("bls.dirty.scanned", scanned)
+    obs.counter_add("bls.dirty.skipped", skipped)
+    if stats is not None:
+        _emit_stats(stats, sweeps, exchanges, releases, topups, counters)
+        stats["bls_dirty_scanned"] = stats.get("bls_dirty_scanned", 0) + scanned
+        stats["bls_dirty_skipped"] = stats.get("bls_dirty_skipped", 0) + skipped
+    return allocation
+
+
+def billboard_driven_local_search(
+    allocation: Allocation,
+    min_improvement: float = 1e-9,
+    max_sweeps: int | None = None,
+    stats: dict | None = None,
+    engine: str = "dirty",
+) -> Allocation:
+    """Run Algorithm 5; returns the improved allocation (may be a new object).
+
+    Parameters
+    ----------
+    allocation:
+        Starting plan; mutated in place for move families 1–3.
+    min_improvement:
+        Minimum absolute regret reduction for a move to be accepted.  This is
+        the ``r``-style improvement threshold of Definition 6.1 (expressed
+        absolutely rather than relatively) and also guards against
+        float-noise cycling.
+    max_sweeps:
+        Optional hard cap on full sweeps (None = run to local optimality).
+    stats:
+        Optional output dict receiving move counters.
+    engine:
+        ``"dirty"`` (default) skips scans proven unchanged since their last
+        empty result; ``"full"`` rescans everything each sweep.  Both reach
+        the identical allocation.
+    """
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {SWEEP_ENGINES}")
+    if engine == "full":
+        return _full_engine(allocation, min_improvement, max_sweeps, stats)
+    return _dirty_engine(allocation, min_improvement, max_sweeps, stats)

@@ -10,6 +10,13 @@ seeding is what lets the framework escape the greedy's poor local minima
 
 The two neighbourhoods are the paper's ALS (Algorithm 4, advertiser-set
 exchanges) and BLS (Algorithm 5, billboard-level moves).
+
+``restart_workers > 1`` fans the restarts out over worker processes that
+attach the coverage index through shared memory (:mod:`repro.parallel`).
+The restart seed plans are pre-drawn from the same sequential RNG stream the
+serial loop consumes, and the best-plan reduction applies the same strict
+``<`` in restart order, so serial and parallel runs return the identical
+best allocation.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.algorithms.base import Solver
 from repro.utils.rng import as_generator
 
 NEIGHBORHOODS = ("als", "bls")
+ENGINES = ("dirty", "full")
 
 
 class RandomizedLocalSearch(Solver):
@@ -45,6 +53,14 @@ class RandomizedLocalSearch(Solver):
         Acceptance threshold forwarded to the neighbourhood search.
     max_sweeps:
         Optional sweep cap forwarded to the BLS neighbourhood.
+    engine:
+        Sweep engine for the neighbourhood search: ``"dirty"`` (default)
+        skips provably unchanged scans, ``"full"`` rescans everything.  Both
+        reach the identical allocation (see DESIGN.md §9).
+    restart_workers:
+        Fan the random restarts out over this many worker processes attached
+        to a shared-memory coverage index; ``None``/``1`` runs them serially.
+        Same best allocation either way.
     """
 
     def __init__(
@@ -54,6 +70,8 @@ class RandomizedLocalSearch(Solver):
         seed=None,
         min_improvement: float = 1e-9,
         max_sweeps: int | None = None,
+        engine: str = "dirty",
+        restart_workers: int | None = None,
     ) -> None:
         if neighborhood not in NEIGHBORHOODS:
             raise ValueError(
@@ -61,33 +79,55 @@ class RandomizedLocalSearch(Solver):
             )
         if restarts < 0:
             raise ValueError(f"restarts must be non-negative, got {restarts}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if restart_workers is not None and restart_workers < 1:
+            raise ValueError(
+                f"restart_workers must be >= 1, got {restart_workers}"
+            )
         self.neighborhood = neighborhood
         self.restarts = restarts
         self.seed = seed
         self.min_improvement = min_improvement
         self.max_sweeps = max_sweeps
+        self.engine = engine
+        self.restart_workers = restart_workers
         self.name = neighborhood.upper()
 
     def _local_search(self) -> Callable[[Allocation, dict], Allocation]:
         if self.neighborhood == "als":
             return lambda allocation, stats: advertiser_driven_local_search(
-                allocation, self.min_improvement, stats
+                allocation, self.min_improvement, stats, engine=self.engine
             )
         return lambda allocation, stats: billboard_driven_local_search(
-            allocation, self.min_improvement, self.max_sweeps, stats
+            allocation,
+            self.min_improvement,
+            self.max_sweeps,
+            stats,
+            engine=self.engine,
         )
+
+    def _random_seed_ids(
+        self, instance: MROAMInstance, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The billboard drawn for each advertiser (one RNG shuffle)."""
+        pool = np.arange(instance.num_billboards)
+        rng.shuffle(pool)
+        return pool[: min(instance.num_advertisers, len(pool))].copy()
 
     def _random_seed_plan(self, instance: MROAMInstance, rng: np.random.Generator) -> Allocation:
         """Lines 3.3-3.7: one uniformly random billboard per advertiser."""
         allocation = Allocation(instance)
-        pool = np.arange(instance.num_billboards)
-        rng.shuffle(pool)
-        for advertiser_id in range(min(instance.num_advertisers, len(pool))):
-            allocation.assign(int(pool[advertiser_id]), advertiser_id)
+        for advertiser_id, billboard_id in enumerate(self._random_seed_ids(instance, rng)):
+            allocation.assign(int(billboard_id), int(advertiser_id))
         return allocation
 
     # Cumulative stats counters the restart telemetry reports as deltas.
-    _EVALUATED_KEYS = ("als_moves_evaluated", "bls_moves_evaluated")
+    _EVALUATED_KEYS = (
+        "als_moves_evaluated",
+        "bls_exchange_evaluated",
+        "bls_release_evaluated",
+    )
     _ACCEPTED_KEYS = (
         "als_exchanges",
         "bls_exchanges",
@@ -110,6 +150,54 @@ class RandomizedLocalSearch(Solver):
             marginal_gain_evals=delta(("marginal_gain_evals",)),
         )
 
+    @staticmethod
+    def _merge_stats(stats: dict, extra: dict) -> None:
+        """Fold a restart's counters into the cumulative stats dict."""
+        for key, value in extra.items():
+            if isinstance(value, (int, float)):
+                stats[key] = stats.get(key, 0) + value
+
+    def _parallel_restarts(
+        self,
+        instance: MROAMInstance,
+        rng: np.random.Generator,
+        best: Allocation,
+        best_regret: float,
+        stats: dict,
+    ) -> tuple[Allocation, float]:
+        """Fan the restarts out over processes; identical reduction to serial.
+
+        The seed-id arrays are pre-drawn here from the same ``rng`` stream
+        (and in the same order) the serial loop would consume, so the workers
+        run the exact restarts the serial path runs.
+        """
+        from repro.parallel.restarts import (
+            allocation_from_owners,
+            run_local_search_restarts,
+        )
+
+        seed_ids = [
+            self._random_seed_ids(instance, rng) for _ in range(self.restarts)
+        ]
+        outcomes = run_local_search_restarts(
+            instance,
+            seed_ids,
+            neighborhood=self.neighborhood,
+            min_improvement=self.min_improvement,
+            max_sweeps=self.max_sweeps,
+            engine=self.engine,
+            workers=self.restart_workers,
+        )
+        for restart, outcome in enumerate(outcomes):
+            before = dict(stats)
+            self._merge_stats(stats, outcome["stats"])
+            if outcome["total_regret"] < best_regret:
+                best = allocation_from_owners(instance, outcome["owners"])
+                best_regret = outcome["total_regret"]
+                stats["best_restart"] = restart
+            self._record_restart(best_regret, before, stats)
+        return best, best_regret
+
     def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
         rng = as_generator(self.seed)
         local_search = self._local_search()
@@ -123,15 +211,20 @@ class RandomizedLocalSearch(Solver):
         stats["best_restart"] = -1  # -1 = the deterministic greedy start
         self._record_restart(best_regret, before, stats)
 
-        for restart in range(self.restarts):
-            before = dict(stats)
-            plan = self._random_seed_plan(instance, rng)
-            synchronous_greedy(plan, stats=stats)
-            plan = local_search(plan, stats)
-            plan_regret = plan.total_regret()
-            if plan_regret < best_regret:
-                best, best_regret = plan, plan_regret
-                stats["best_restart"] = restart
-            self._record_restart(best_regret, before, stats)
+        if self.restarts > 0 and (self.restart_workers or 1) > 1:
+            best, best_regret = self._parallel_restarts(
+                instance, rng, best, best_regret, stats
+            )
+        else:
+            for restart in range(self.restarts):
+                before = dict(stats)
+                plan = self._random_seed_plan(instance, rng)
+                synchronous_greedy(plan, stats=stats)
+                plan = local_search(plan, stats)
+                plan_regret = plan.total_regret()
+                if plan_regret < best_regret:
+                    best, best_regret = plan, plan_regret
+                    stats["best_restart"] = restart
+                self._record_restart(best_regret, before, stats)
         stats["restarts"] = self.restarts
         return best

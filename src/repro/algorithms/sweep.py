@@ -1,0 +1,129 @@
+"""Dirty-set bookkeeping for the local-search sweep engines.
+
+Classic local-search engineering (don't-look bits / dirty-candidate lists):
+after an accepted move, only billboards owned by the affected advertisers —
+plus any billboard that was freed — can see a different move delta, so a
+sweep needs to re-examine only those.  The state objects here track *which*
+scans are provably still valid via monotone version counters:
+
+* every accepted move bumps a global ``version`` and stamps it onto the
+  advertisers (and freed billboards) it touched;
+* a scan that comes back empty stamps the current version onto the scanned
+  billboard (or pair) as a *certificate*;
+* a later scan may be skipped, or restricted to the candidates whose stamp
+  is newer than the certificate, because every unchanged candidate was
+  already proven non-improving at certification time.
+
+The engines built on top (``bls.py``, ``als.py``) still run one final
+unrestricted sweep before declaring local optimality, so Theorem 2's
+``(1+r)``-local-maximum guarantee never rests on this bookkeeping — the
+certificates only let the intermediate sweeps skip provably dead work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import UNASSIGNED
+
+
+class BillboardSweepState:
+    """Version counters for the billboard-driven (BLS) sweep engine.
+
+    ``advertiser_version[a]`` — version of the last accepted move that changed
+    advertiser ``a``'s set (so any exchange involving one of its billboards,
+    on either side, may now price differently).
+
+    ``freed_version[b]`` — version at which billboard ``b`` last returned to
+    the free pool; consulted only while ``b`` is unassigned.
+
+    ``scan_version[b]`` — certificate: the version at which a full candidate
+    scan for ``b`` (as the outgoing billboard) last came back empty; 0 means
+    never certified.
+
+    ``release_version[a]`` — certificate for advertiser ``a``'s release pass
+    (move family 3), which depends only on ``a``'s own set.
+    """
+
+    def __init__(self, num_advertisers: int, num_billboards: int) -> None:
+        self.version = 1
+        self.advertiser_version = np.ones(num_advertisers, dtype=np.int64)
+        self.freed_version = np.ones(num_billboards, dtype=np.int64)
+        self.scan_version = np.zeros(num_billboards, dtype=np.int64)
+        self.release_version = np.zeros(num_advertisers, dtype=np.int64)
+
+    def mark_move(self, advertisers=(), freed=()) -> None:
+        """Record one accepted move touching ``advertisers`` / freeing ``freed``."""
+        self.version += 1
+        for advertiser_id in advertisers:
+            self.advertiser_version[advertiser_id] = self.version
+        for billboard_id in freed:
+            self.freed_version[billboard_id] = self.version
+
+    def own_side_stale(self, advertiser_id: int, billboard_id: int) -> bool:
+        """True when ``billboard_id``'s own advertiser changed since its last
+        certified scan (or it was never certified) — the whole candidate set
+        must then be rescanned, not just the changed candidates."""
+        certified = self.scan_version[billboard_id]
+        return bool(certified == 0 or self.advertiser_version[advertiser_id] > certified)
+
+    def changed_candidates(
+        self, billboard_id: int, owners: np.ndarray, advertiser_id: int
+    ) -> np.ndarray:
+        """Exchange partners whose pairing with ``billboard_id`` may price
+        differently than at its last certified scan.
+
+        Assigned candidates are stale when their owner moved since the
+        certificate; free candidates when they were freed since.  The
+        billboard itself and its own advertiser's billboards are excluded,
+        mirroring the full scan's candidate mask.
+        """
+        certified = self.scan_version[billboard_id]
+        assigned = owners != UNASSIGNED
+        changed = np.empty(len(owners), dtype=bool)
+        changed[assigned] = self.advertiser_version[owners[assigned]] > certified
+        changed[~assigned] = self.freed_version[~assigned] > certified
+        changed[billboard_id] = False
+        changed[owners == advertiser_id] = False
+        return np.nonzero(changed)[0]
+
+    def certify_scan(self, billboard_id: int) -> None:
+        self.scan_version[billboard_id] = self.version
+
+    def release_pass_clean(self, advertiser_id: int) -> bool:
+        return bool(
+            self.advertiser_version[advertiser_id]
+            <= self.release_version[advertiser_id]
+        )
+
+    def certify_release_pass(self, advertiser_id: int) -> None:
+        self.release_version[advertiser_id] = self.version
+
+
+class PairSweepState:
+    """Version counters for the advertiser-pair (ALS) sweep engine.
+
+    ``delta_exchange_sets(a, b)`` depends only on the two advertisers'
+    influence scalars, so a pair is clean exactly when neither advertiser
+    moved since the pair was last priced non-improving.
+    """
+
+    def __init__(self, num_advertisers: int) -> None:
+        self.version = 1
+        self.advertiser_version = np.ones(num_advertisers, dtype=np.int64)
+        self.pair_version = np.zeros((num_advertisers, num_advertisers), dtype=np.int64)
+
+    def mark_exchange(self, advertiser_a: int, advertiser_b: int) -> None:
+        self.version += 1
+        self.advertiser_version[advertiser_a] = self.version
+        self.advertiser_version[advertiser_b] = self.version
+
+    def pair_clean(self, advertiser_a: int, advertiser_b: int) -> bool:
+        certified = self.pair_version[advertiser_a, advertiser_b]
+        return bool(
+            self.advertiser_version[advertiser_a] <= certified
+            and self.advertiser_version[advertiser_b] <= certified
+        )
+
+    def certify_pair(self, advertiser_a: int, advertiser_b: int) -> None:
+        self.pair_version[advertiser_a, advertiser_b] = self.version

@@ -254,6 +254,51 @@ class CoverageIndex:
         """``(flat_ids, offsets)`` CSR serialization of the coverage."""
         return self._flat_coverage()
 
+    def to_shared(self) -> "SharedCoverage":
+        """Export the CSR arrays (and packed bitmap, if any) into shared memory.
+
+        Returns a :class:`~repro.parallel.shared.SharedCoverage` handle owning
+        the segments; worker processes rebuild a read-only view of this index
+        with :meth:`attach_shared` instead of unpickling a copy.  The bitmap
+        decision is forced here so every attacher inherits the creator's
+        kernel dispatch verbatim.
+        """
+        from repro.parallel.shared import SharedCoverage
+
+        return SharedCoverage.create(self)
+
+    @classmethod
+    def attach_shared(cls, spec: "SharedCoverageSpec") -> "CoverageIndex":
+        """Attach a read-only index to segments exported by :meth:`to_shared`.
+
+        The CSR arrays (and bitmap) are numpy views over the shared segments —
+        no copy is made.  The bitmap decision is pinned to the creator's: an
+        attached index never builds its own bitmap, so creator and attachers
+        dispatch to identical kernels.
+        """
+        from repro.parallel.shared import attach_array
+
+        flat, flat_shm = attach_array(spec.flat)
+        offsets, offsets_shm = attach_array(spec.offsets)
+        index = cls.from_flat_arrays(
+            flat,
+            offsets,
+            spec.num_trajectories,
+            lambda_m=spec.lambda_m,
+            bitmap_budget_mb=spec.bitmap_budget_mb,
+        )
+        handles = [flat_shm, offsets_shm]
+        index._bitmap_decided = True
+        if spec.bitmap is not None:
+            bitmap, bitmap_shm = attach_array(spec.bitmap)
+            index._bitmap = bitmap
+            handles.append(bitmap_shm)
+        # Keep the SharedMemory objects alive as long as the index: the numpy
+        # views borrow their buffers.
+        index._shm_handles = handles
+        obs.counter_add("shm.attach")
+        return index
+
     def covered_by(self, billboard_id: int) -> np.ndarray:
         """Sorted trajectory ids covered by one billboard (no copy)."""
         return self._covered[billboard_id]
@@ -400,6 +445,45 @@ class CoverageIndex:
         if len(flat) == 0:
             return np.zeros(self.num_billboards, dtype=np.int64)
         mask = (counts_row[flat] == 0).astype(np.int64)
+        cumulative = np.concatenate([[0], np.cumsum(mask)])
+        return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+
+    def batch_add_gains_without(
+        self,
+        counts_row: np.ndarray,
+        removed_billboard: int,
+        free_bits: np.ndarray | None = None,
+        ones_bits: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """:meth:`batch_add_gains` as if ``removed_billboard`` had already been
+        removed from the set behind ``counts_row`` — without mutating the row.
+
+        A trajectory is free after the removal when its count is 0, or when it
+        is 1 and covered by the removed billboard.  This is the BLS exchange
+        scan's kernel: it prices ``S − o_m + o_n`` for every candidate ``o_n``
+        while the allocation itself stays untouched.  ``free_bits`` /
+        ``ones_bits`` are the packed ``counts_row == 0`` / ``== 1`` masks.
+        """
+        if self.batch_prefers_bitmap:
+            bitmap = self._ensure_bitmap()
+            if bitmap is not None:
+                if free_bits is None:
+                    free_bits = bitset.pack_bits(counts_row == 0)
+                if ones_bits is None:
+                    ones_bits = bitset.pack_bits(counts_row == 1)
+                released_free = free_bits | (ones_bits & bitmap[removed_billboard])
+                obs.counter_add("influence.dispatch.bitmap")
+                obs.histogram_observe("influence.popcount.rows", self.num_billboards)
+                return (
+                    bitset.popcount(bitmap & released_free).sum(axis=1).astype(np.int64)
+                )
+        obs.counter_add("influence.dispatch.idarray")
+        flat, offsets = self._flat_coverage()
+        if len(flat) == 0:
+            return np.zeros(self.num_billboards, dtype=np.int64)
+        removed = np.zeros(self.num_trajectories, dtype=counts_row.dtype)
+        removed[self._covered[removed_billboard]] = 1
+        mask = ((counts_row[flat] - removed[flat]) == 0).astype(np.int64)
         cumulative = np.concatenate([[0], np.cumsum(mask)])
         return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
 

@@ -64,6 +64,13 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the methods × values task grid (default serial)",
     )
     parser.add_argument(
+        "--restart-workers",
+        type=int,
+        default=None,
+        help="worker processes for ALS/BLS random restarts (shared-memory "
+        "coverage, same result as serial; ignored with --workers > 1)",
+    )
+    parser.add_argument(
         "--obs-out",
         default=None,
         metavar="PATH",
@@ -119,7 +126,11 @@ def _cmd_cell(args: argparse.Namespace) -> int:
     methods = args.methods.split(",")
     obs_active = _obs_begin(args)
     metrics = run_cell(
-        scenario, methods=methods, restarts=args.restarts, workers=args.workers
+        scenario,
+        methods=methods,
+        restarts=args.restarts,
+        workers=args.workers,
+        restart_workers=args.restart_workers,
     )
     print(f"cell: {scenario}")
     for method, cell in metrics.items():
@@ -146,6 +157,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         methods=methods,
         restarts=args.restarts,
         workers=args.workers,
+        restart_workers=args.restart_workers,
     )
     fmt = _SWEEP_FORMATS[args.parameter]
     print(format_regret_table(result, f"{args.dataset.upper()} — sweep over {args.parameter}", fmt))

@@ -54,6 +54,13 @@ class MROAMInstance:
         self.gamma = float(gamma)
         self.demands = np.array([a.demand for a in advertisers], dtype=np.float64)
         self.payments = np.array([a.payment for a in advertisers], dtype=np.float64)
+        if np.any(self.demands <= 0):
+            # Eq. 1 divides by the demand; a zero slips through as inf/nan
+            # regret deep inside the solvers, so reject it at the boundary
+            # (covers advertiser-like objects that bypass Advertiser's own
+            # validation).
+            bad = [a.advertiser_id for a in advertisers if a.demand <= 0]
+            raise ValueError(f"advertiser demands must be positive; got <= 0 for ids {bad}")
 
     @classmethod
     def from_contracts(

@@ -53,9 +53,14 @@ class ExperimentResult:
         return [getattr(self.cells[value][method], attribute) for value in self.values]
 
 
-def _solver_kwargs(method: str, restarts: int) -> dict:
+def _solver_kwargs(
+    method: str, restarts: int, restart_workers: int | None = None
+) -> dict:
     if method in ("als", "bls"):
-        return {"restarts": restarts}
+        kwargs: dict = {"restarts": restarts}
+        if restart_workers is not None:
+            kwargs["restart_workers"] = restart_workers
+        return kwargs
     return {}
 
 
@@ -66,6 +71,7 @@ def _run_method(
     solver_seed: int,
     runtime_repeats: int,
     span_attrs: dict | None = None,
+    restart_workers: int | None = None,
 ) -> CellMetrics:
     """One (instance, method) execution — the unit of parallel work."""
     with obs.span("harness.cell", method=method, **(span_attrs or {})):
@@ -79,7 +85,9 @@ def _run_method(
                 float(instance.coverage.total_reachable()),
             )
         solver = make_solver(
-            method, seed=solver_seed, **_solver_kwargs(method, restarts)
+            method,
+            seed=solver_seed,
+            **_solver_kwargs(method, restarts, restart_workers),
         )
         first = solver.solve(instance)
         metrics = CellMetrics.from_result(method, first)
@@ -87,7 +95,9 @@ def _run_method(
             runtimes = [first.runtime_s]
             for _ in range(1, runtime_repeats):
                 repeat_solver = make_solver(
-                    method, seed=solver_seed, **_solver_kwargs(method, restarts)
+                    method,
+                    seed=solver_seed,
+                    **_solver_kwargs(method, restarts, restart_workers),
                 )
                 runtimes.append(repeat_solver.solve(instance).runtime_s)
             metrics = replace(metrics, runtime_s=sum(runtimes) / len(runtimes))
@@ -100,7 +110,10 @@ _WORKER_STATE: dict = {}
 
 
 def _worker_init(
-    scenario: Scenario, city: CityDataset | None, obs_enabled: bool = False
+    scenario: Scenario,
+    city: CityDataset | None,
+    obs_enabled: bool = False,
+    coverage_spec=None,
 ) -> None:
     _WORKER_STATE["scenario"] = scenario
     _WORKER_STATE["city"] = city if city is not None else scenario.build_city()
@@ -110,7 +123,18 @@ def _worker_init(
         obs.disable()
     # With a fork start method the child inherits the parent's registry
     # contents; clear them so per-task snapshots hold only this worker's work.
+    # The reset runs before the attach so the one shm.attach this worker ever
+    # performs lands in its first task snapshot.
     obs.reset()
+    if coverage_spec is not None:
+        # Zero-copy: attach the parent's coverage index at the scenario's base
+        # λ instead of re-running the radius join (or unpickling a copy) here.
+        # Sweep tasks at a *different* λ still build locally on first use.
+        from repro.billboard.influence import CoverageIndex
+
+        attached = CoverageIndex.attach_shared(coverage_spec)
+        key = (float(scenario.lambda_m), False)
+        _WORKER_STATE["city"]._coverage_cache[key] = attached
 
 
 def _worker_run(task: tuple) -> tuple:
@@ -139,18 +163,34 @@ def _run_parallel(
     ``Executor.map`` preserves submission order, so assembly is deterministic
     regardless of completion order — including the order worker metric
     snapshots are merged into the parent registry.
+
+    The city is generated once here and its base-λ coverage index is exported
+    to shared memory; each worker ships the (coverage-cache-free) city plus
+    the segment names, attaches the index read-only exactly once, and never
+    unpickles a ``CoverageIndex``.
     """
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_worker_init,
-        initargs=(scenario, city, obs.enabled()),
-    ) as pool:
-        completed = pool.map(_worker_run, tasks, chunksize=1)
-        by_key = {}
-        for value, method, metrics, snapshot in completed:
-            obs.merge_snapshot(snapshot)
-            by_key[(value, method)] = metrics
-        return by_key
+    if city is None:
+        city = scenario.build_city()
+    shared = city.coverage(scenario.lambda_m).to_shared()
+    # Workers receive a copy without the coverage cache: the index travels
+    # through the shared segments, not the pickle stream.
+    worker_city = CityDataset(
+        name=city.name, billboards=city.billboards, trajectories=city.trajectories
+    )
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(scenario, worker_city, obs.enabled(), shared.spec),
+        ) as pool:
+            completed = pool.map(_worker_run, tasks, chunksize=1)
+            by_key = {}
+            for value, method, metrics, snapshot in completed:
+                obs.merge_snapshot(snapshot)
+                by_key[(value, method)] = metrics
+            return by_key
+    finally:
+        shared.close()
 
 
 def _check_workers(workers: int | None) -> int:
@@ -170,6 +210,7 @@ def run_cell(
     instance: MROAMInstance | None = None,
     runtime_repeats: int = 1,
     workers: int | None = None,
+    restart_workers: int | None = None,
     _span_attrs: dict | None = None,
 ) -> dict[str, CellMetrics]:
     """Run each method on one cell; returns ``{method: CellMetrics}``.
@@ -179,7 +220,9 @@ def run_cell(
     regret metrics come from the first run.  ``workers > 1`` fans the methods
     out across processes (regret metrics identical to the serial path); a
     pre-built ``instance`` pins the cell to the serial path since workers
-    rebuild the instance from the scenario.
+    rebuild the instance from the scenario.  ``restart_workers`` fans the
+    ALS/BLS random restarts out inside each serial method run (ignored on
+    the ``workers > 1`` path — no nested pools).
     """
     if runtime_repeats < 1:
         raise ValueError(f"runtime_repeats must be >= 1, got {runtime_repeats}")
@@ -195,7 +238,13 @@ def run_cell(
         instance = scenario.build_instance(city)
     return {
         method: _run_method(
-            method, instance, restarts, solver_seed, runtime_repeats, _span_attrs
+            method,
+            instance,
+            restarts,
+            solver_seed,
+            runtime_repeats,
+            _span_attrs,
+            restart_workers=restart_workers,
         )
         for method in methods
     }
@@ -211,6 +260,7 @@ def sweep(
     city: CityDataset | None = None,
     runtime_repeats: int = 1,
     workers: int | None = None,
+    restart_workers: int | None = None,
 ) -> ExperimentResult:
     """Vary one scenario field across ``values``; other fields stay fixed.
 
@@ -256,6 +306,7 @@ def sweep(
             restarts=restarts,
             solver_seed=solver_seed,
             runtime_repeats=runtime_repeats,
+            restart_workers=restart_workers,
             _span_attrs={"parameter": parameter, "value": value},
         )
     return result

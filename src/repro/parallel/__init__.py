@@ -1,0 +1,29 @@
+"""Zero-copy process parallelism: shared-memory coverage + restart fan-out.
+
+``repro.parallel.shared`` owns shared-memory segment lifecycle
+(create/attach/unlink with atexit cleanup); ``repro.parallel.restarts``
+drives multi-restart local search and multi-chain annealing over worker
+pools that attach the coverage index instead of unpickling a copy.
+"""
+
+from repro.parallel.restarts import (
+    allocation_from_owners,
+    run_annealing_chains,
+    run_local_search_restarts,
+)
+from repro.parallel.shared import (
+    SharedArraySpec,
+    SharedCoverage,
+    SharedCoverageSpec,
+    attach_array,
+)
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedCoverage",
+    "SharedCoverageSpec",
+    "allocation_from_owners",
+    "attach_array",
+    "run_annealing_chains",
+    "run_local_search_restarts",
+]

@@ -1,0 +1,167 @@
+"""Parallel restart drivers: fan restart/chain tasks over worker processes.
+
+Workers attach the instance's :class:`~repro.billboard.influence.
+CoverageIndex` through shared memory (:mod:`repro.parallel.shared`) — the
+only payload pickled per pool is the advertiser list and a few scalars, and
+each worker performs exactly one ``shm.attach``.  Tasks carry pre-drawn
+restart seeds, so the parallel paths run the *same* restarts the serial
+paths run and the best-plan reduction (strict ``<`` in restart order) picks
+the identical winner.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro import obs
+from repro.billboard.influence import CoverageIndex
+from repro.core.allocation import UNASSIGNED, Allocation
+from repro.core.problem import MROAMInstance
+
+
+def allocation_from_owners(instance: MROAMInstance, owners: np.ndarray) -> Allocation:
+    """Rebuild an allocation from an owner vector (same sets, same regret)."""
+    allocation = Allocation(instance)
+    for billboard_id in np.nonzero(np.asarray(owners) != UNASSIGNED)[0]:
+        allocation.assign(int(billboard_id), int(owners[billboard_id]))
+    return allocation
+
+
+# Worker-process state, populated once per process by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(coverage_spec, advertisers, gamma, obs_enabled: bool) -> None:
+    if obs_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+    # With a fork start method the child inherits the parent's registry
+    # contents; clear them *before* attaching so the shm.attach count lands
+    # in this worker's first task snapshot.
+    obs.reset()
+    coverage = CoverageIndex.attach_shared(coverage_spec)
+    _WORKER_STATE["instance"] = MROAMInstance(coverage, list(advertisers), gamma)
+
+
+def _worker_call(task: tuple) -> tuple:
+    runner, payload = task
+    result = runner(_WORKER_STATE["instance"], payload)
+    snapshot = obs.take_snapshot(reset_after=True) if obs.enabled() else None
+    return result, snapshot
+
+
+def _map_over_shared_instance(
+    instance: MROAMInstance, runner, payloads: list, workers: int
+) -> list:
+    """Run ``runner(instance, payload)`` for each payload across ``workers``
+    processes sharing one exported coverage index; results in payload order.
+    """
+    shared = instance.coverage.to_shared()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(shared.spec, list(instance.advertisers), instance.gamma, obs.enabled()),
+        ) as pool:
+            results = []
+            for result, snapshot in pool.map(
+                _worker_call, [(runner, payload) for payload in payloads], chunksize=1
+            ):
+                obs.merge_snapshot(snapshot)
+                results.append(result)
+            return results
+    finally:
+        shared.close()
+
+
+def _local_search_restart(instance: MROAMInstance, payload: tuple) -> dict:
+    """One randomized restart: seed plan → greedy completion → local search."""
+    from repro.algorithms.als import advertiser_driven_local_search
+    from repro.algorithms.bls import billboard_driven_local_search
+    from repro.algorithms.greedy_global import synchronous_greedy
+
+    params, seed_ids = payload
+    stats: dict = {}
+    plan = Allocation(instance)
+    for advertiser_id, billboard_id in enumerate(seed_ids):
+        plan.assign(int(billboard_id), int(advertiser_id))
+    synchronous_greedy(plan, stats=stats)
+    if params["neighborhood"] == "als":
+        plan = advertiser_driven_local_search(
+            plan, params["min_improvement"], stats, engine=params["engine"]
+        )
+    else:
+        plan = billboard_driven_local_search(
+            plan,
+            params["min_improvement"],
+            params["max_sweeps"],
+            stats,
+            engine=params["engine"],
+        )
+    return {
+        "owners": np.asarray(plan.owners).copy(),
+        "total_regret": float(plan.total_regret()),
+        "stats": stats,
+    }
+
+
+def run_local_search_restarts(
+    instance: MROAMInstance,
+    seed_ids_per_restart: list,
+    *,
+    neighborhood: str,
+    min_improvement: float,
+    max_sweeps: int | None,
+    engine: str,
+    workers: int,
+) -> list[dict]:
+    """Run one restart per pre-drawn seed-id array; results in restart order.
+
+    Each result dict carries ``owners``, ``total_regret``, and the restart's
+    ``stats`` counters, exactly what the serial loop accumulates per restart.
+    """
+    params = {
+        "neighborhood": neighborhood,
+        "min_improvement": min_improvement,
+        "max_sweeps": max_sweeps,
+        "engine": engine,
+    }
+    payloads = [(params, seed_ids) for seed_ids in seed_ids_per_restart]
+    return _map_over_shared_instance(
+        instance, _local_search_restart, payloads, workers
+    )
+
+
+def _annealing_chain(instance: MROAMInstance, payload: tuple) -> dict:
+    from repro.algorithms.annealing import anneal_chain
+
+    steps, initial_temperature, cooling, rng = payload
+    chain = anneal_chain(instance, steps, initial_temperature, cooling, rng)
+    best = chain.pop("best")
+    chain["owners"] = np.asarray(best.owners).copy()
+    return chain
+
+
+def run_annealing_chains(
+    instance: MROAMInstance,
+    seeds: list,
+    *,
+    steps: int,
+    initial_temperature: float | None,
+    cooling: float,
+    workers: int,
+) -> list[dict]:
+    """Run one annealing chain per seed; results in chain order.
+
+    Returns :func:`repro.algorithms.annealing.anneal_chain` dicts with the
+    best plan rebuilt against the caller's instance (workers ship back the
+    owner vector, never an allocation).
+    """
+    payloads = [(steps, initial_temperature, cooling, seed) for seed in seeds]
+    chains = _map_over_shared_instance(instance, _annealing_chain, payloads, workers)
+    for chain in chains:
+        chain["best"] = allocation_from_owners(instance, chain.pop("owners"))
+    return chains

@@ -1,5 +1,8 @@
 """Tests for the MROAM problem instance."""
 
+from types import SimpleNamespace
+
+import numpy as np
 import pytest
 
 from repro.billboard.influence import CoverageIndex
@@ -12,6 +15,38 @@ def simple_coverage() -> CoverageIndex:
 
 
 class TestConstruction:
+    def test_rejects_zero_demand_advertiser_like(self):
+        """Eq. 1 divides by demand, so a zero must fail loudly at the
+        boundary — even from advertiser-like objects that bypass
+        ``Advertiser``'s own validation."""
+        stub = SimpleNamespace(advertiser_id=0, demand=0.0, payment=5.0)
+        with pytest.raises(ValueError, match="demands must be positive"):
+            MROAMInstance(simple_coverage(), [stub])
+
+    def test_rejects_negative_demand_and_names_the_id(self):
+        good = Advertiser(0, 2, 4.0)
+        bad = SimpleNamespace(advertiser_id=1, demand=-3.0, payment=5.0)
+        with pytest.raises(ValueError, match=r"ids \[1\]"):
+            MROAMInstance(simple_coverage(), [good, bad])
+
+    def test_regret_values_guard(self):
+        from repro.algorithms._marginal import regret_values
+
+        with pytest.raises(ValueError, match="demand must be positive"):
+            regret_values(5.0, 0.0, 0.5, np.array([1.0, 2.0]))
+
+    def test_optimistic_regret_guard(self):
+        from repro.algorithms.bls import _optimistic_regret
+
+        with pytest.raises(ValueError, match="demands must be positive"):
+            _optimistic_regret(
+                np.array([5.0]),
+                np.array([0.0]),
+                0.5,
+                np.array([0.0]),
+                np.array([2.0]),
+            )
+
     def test_requires_advertisers(self):
         with pytest.raises(ValueError, match="advertiser"):
             MROAMInstance(simple_coverage(), [])

@@ -17,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.experiments.harness import run_cell, sweep
 from repro.market.scenario import Scenario
 
@@ -64,6 +65,26 @@ class TestParallelEqualsSerial:
         assert set(metrics) == {"g-order"}
 
 
+class TestSharedCoverageInWorkers:
+    def test_workers_attach_instead_of_unpickling(self, scenario):
+        """The pool ships the base-λ coverage index through shared memory:
+        each worker attaches once in its initializer (``shm.attach``) rather
+        than unpickling a private copy per task."""
+        obs.enable()
+        try:
+            obs.reset()
+            run_cell(scenario, methods=["g-order", "g-global"], restarts=1, workers=2)
+            attaches = obs.counter_value("shm.attach")
+            creates = obs.counter_value("shm.create")
+        finally:
+            obs.disable()
+            obs.reset()
+        # One attach per worker whose snapshot shipped back — bounded by the
+        # pool size, never by the task count.
+        assert 1 <= attaches <= 2
+        assert creates >= 2  # flat + offsets (+ bitmap) exported by the parent
+
+
 class TestWorkerValidation:
     def test_rejects_zero_workers(self, scenario):
         with pytest.raises(ValueError, match="workers"):
@@ -103,3 +124,32 @@ class TestBenchSmoke:
         for section in ("build", "influence_of_set", "bls_cell"):
             assert report[section]["speedup"] > 0.0
         assert report["influence_of_set"]["queries"] == 100
+
+    def test_bench_solvers_smoke(self, tmp_path):
+        """The solver benchmark's smoke mode runs end-to-end; it exits
+        non-zero if the dirty sweep engine diverges from the full-scan
+        regret or parallel restarts diverge from serial."""
+        output = tmp_path / "bench_solvers.json"
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "bench_solvers.py"),
+                "--smoke",
+                "--output",
+                str(output),
+            ],
+            check=True,
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            timeout=600,
+        )
+        report = json.loads(output.read_text())
+        assert report["smoke"] is True
+        engines = report["bls_local_search"]
+        assert engines["dirty"]["total_regret"] == engines["full"]["total_regret"]
+        assert engines["speedup"] > 0.0
+        restarts = report["parallel_restarts"]
+        assert restarts["shm_attach"] >= 1
+        assert restarts["serial_s"] > 0.0 and restarts["parallel_s"] > 0.0
