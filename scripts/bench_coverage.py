@@ -24,6 +24,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import tempfile
 import time
 from pathlib import Path
@@ -39,6 +40,33 @@ from repro.market.scenario import Scenario
 from repro.spatial.grid import GridIndex
 from repro.trajectory.model import TrajectoryDB
 from repro.utils.rng import as_generator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_commit() -> str:
+    """Hash of the commit that produced this report (``unknown`` outside git).
+
+    A ``-dirty`` suffix marks reports produced from an uncommitted tree.
+    """
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+        ).stdout.strip()
+        return f"{head}-dirty" if dirty else head
+    except Exception:
+        return "unknown"
 
 
 def legacy_covered_lists(
@@ -232,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "benchmark": "coverage-kernel",
         "smoke": bool(args.smoke),
+        "commit": git_commit(),
         "scenario": {
             "dataset": scenario.dataset,
             "n_billboards": scenario.n_billboards,

@@ -17,16 +17,29 @@ import numpy as np
 from repro.core.allocation import Allocation
 
 
+def _regret_values_unchecked(
+    payment: float, demand: float, gamma: float, achieved: np.ndarray
+) -> np.ndarray:
+    """Vectorized Eq. 1 with no demand validation — the per-move hot path.
+
+    Demand positivity is enforced once, at :class:`~repro.core.problem.
+    MROAMInstance` construction, so the solver internals (exchange screens,
+    partner selection, greedy pricing) call this variant; the public
+    :func:`regret_values` keeps the guard for direct callers.
+    """
+    achieved = np.asarray(achieved, dtype=np.float64)
+    unsatisfied = payment * (1.0 - gamma * achieved / demand)
+    excessive = payment * (achieved - demand) / demand
+    return np.where(achieved < demand, unsatisfied, excessive)
+
+
 def regret_values(
     payment: float, demand: float, gamma: float, achieved: np.ndarray
 ) -> np.ndarray:
     """Vectorized Eq. 1 over an array of achieved influences."""
     if np.any(np.asarray(demand) <= 0):
         raise ValueError("advertiser demand must be positive (Eq. 1 divides by demand)")
-    achieved = np.asarray(achieved, dtype=np.float64)
-    unsatisfied = payment * (1.0 - gamma * achieved / demand)
-    excessive = payment * (achieved - demand) / demand
-    return np.where(achieved < demand, unsatisfied, excessive)
+    return _regret_values_unchecked(payment, demand, gamma, achieved)
 
 
 def best_marginal_billboard(
@@ -58,10 +71,11 @@ def best_marginal_billboard(
     gains = coverage.batch_add_gains(
         allocation.counts_row(advertiser_id),
         free_bits=masks[0] if masks is not None else None,
-    )[candidate_ids]
+        candidate_ids=candidate_ids,
+    )
     current_influence = allocation.influence(advertiser_id)
     current_regret = instance.regret_of(advertiser_id, current_influence)
-    new_regrets = regret_values(
+    new_regrets = _regret_values_unchecked(
         advertiser.payment, advertiser.demand, instance.gamma, current_influence + gains
     )
     ratios = (current_regret - new_regrets) / individual

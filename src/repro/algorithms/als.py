@@ -66,17 +66,29 @@ def _dirty_engine(
         improved = False
         sweeps += 1
         for advertiser_a in range(num_advertisers):
-            for advertiser_b in range(advertiser_a + 1, num_advertisers):
-                if not verifying and state.pair_clean(advertiser_a, advertiser_b):
-                    continue
-                delta = delta_exchange_sets(allocation, advertiser_a, advertiser_b)
-                evaluated += 1
-                if delta < -min_improvement:
-                    allocation.exchange_sets(advertiser_a, advertiser_b)
-                    state.mark_exchange(advertiser_a, advertiser_b)
-                    exchanges += 1
-                    improved = True
+            # One vectorized row filter replaces the per-pair pair_clean
+            # calls.  An accepted exchange dirties every later pair in the
+            # row (it bumps advertiser_a's version), so the remaining suffix
+            # is re-queried after each acceptance — cleanliness is thereby
+            # evaluated at visit time, exactly like the per-pair loop.
+            start = advertiser_a + 1
+            while start < num_advertisers:
+                if verifying:
+                    partners = range(start, num_advertisers)
                 else:
+                    partners = state.dirty_partners(advertiser_a, start)
+                start = num_advertisers
+                for advertiser_b in partners:
+                    advertiser_b = int(advertiser_b)
+                    delta = delta_exchange_sets(allocation, advertiser_a, advertiser_b)
+                    evaluated += 1
+                    if delta < -min_improvement:
+                        allocation.exchange_sets(advertiser_a, advertiser_b)
+                        state.mark_exchange(advertiser_a, advertiser_b)
+                        exchanges += 1
+                        improved = True
+                        start = advertiser_b + 1
+                        break
                     state.certify_pair(advertiser_a, advertiser_b)
         if improved:
             verifying = False

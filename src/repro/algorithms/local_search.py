@@ -34,7 +34,7 @@ from repro.algorithms.base import Solver
 from repro.utils.rng import as_generator
 
 NEIGHBORHOODS = ("als", "bls")
-ENGINES = ("dirty", "full")
+ENGINES = ("dirty", "dirty-full-scan", "full")
 
 
 class RandomizedLocalSearch(Solver):
@@ -96,8 +96,11 @@ class RandomizedLocalSearch(Solver):
 
     def _local_search(self) -> Callable[[Allocation, dict], Allocation]:
         if self.neighborhood == "als":
+            # ALS has no coverage scans to restrict, so the BLS-only
+            # "dirty-full-scan" benchmarking engine maps to plain "dirty".
+            als_engine = "full" if self.engine == "full" else "dirty"
             return lambda allocation, stats: advertiser_driven_local_search(
-                allocation, self.min_improvement, stats, engine=self.engine
+                allocation, self.min_improvement, stats, engine=als_engine
             )
         return lambda allocation, stats: billboard_driven_local_search(
             allocation,

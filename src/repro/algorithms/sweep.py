@@ -125,5 +125,18 @@ class PairSweepState:
             and self.advertiser_version[advertiser_b] <= certified
         )
 
+    def dirty_partners(self, advertiser_a: int, start: int) -> np.ndarray:
+        """Partners ``b ≥ start`` whose pair ``(a, b)`` is *not* certified
+        clean, as one vectorized row filter — the per-pair
+        :meth:`pair_clean` loop collapsed into a single comparison pass.
+        Cleanliness is evaluated at call time, so callers must re-query the
+        remaining suffix after accepting an exchange in the row.
+        """
+        certified = self.pair_version[advertiser_a, start:]
+        stale = (self.advertiser_version[advertiser_a] > certified) | (
+            self.advertiser_version[start:] > certified
+        )
+        return np.nonzero(stale)[0] + start
+
     def certify_pair(self, advertiser_a: int, advertiser_b: int) -> None:
         self.pair_version[advertiser_a, advertiser_b] = self.version

@@ -30,6 +30,16 @@ bitmap (popcount beats sort-based dedup), while the batch and swap passes
 compare the words they would touch (``rows × ceil(T/64)``) against the
 number of covered ids the id-array pass would gather — on sparse coverage
 the id arrays win, on dense coverage the bitmap does.
+
+Every batch pass additionally accepts an optional ``candidate_ids`` row
+restriction: the dirty-set sweep engines and the greedy marginal scans
+usually need gains for a handful of candidate billboards, not the whole
+inventory, and the restricted passes compute *only those rows* — the bitmap
+path gathers the candidate rows into a reusable per-index scratch block and
+popcounts ``len(candidates) × words`` words (no full-matrix ``bitmap &
+mask`` temporary), the id-array path gathers only the candidates' CSR
+slices.  Restricted results are bit-identical to slicing the full pass:
+``batch_add_gains(row, candidate_ids=c) == batch_add_gains(row)[c]``.
 """
 
 from __future__ import annotations
@@ -191,6 +201,11 @@ class CoverageIndex:
         self._bitmap_decided = False
         self._batch_prefers_bitmap: bool | None = None
         self._flat_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._individual_f64: np.ndarray | None = None
+        # Reusable (rows, words) uint64 block for the restricted bitmap
+        # passes, grown geometrically and never shrunk; one per index (the
+        # kernels are single-threaded per index, attachers own their own).
+        self._scratch: np.ndarray | None = None
 
     @classmethod
     def from_coverage_lists(
@@ -421,8 +436,63 @@ class CoverageIndex:
 
     # ------------------------------------------------------------ batch passes
 
+    def _scratch_rows(self, rows: int, words: int) -> np.ndarray:
+        """A ``(rows, words)`` view of the reusable restricted-pass block."""
+        block = self._scratch
+        if block is None or block.shape[0] < rows or block.shape[1] != words:
+            capacity = max(rows, 16)
+            if block is not None and block.shape[1] == words:
+                capacity = max(capacity, 2 * block.shape[0])
+            block = np.empty((capacity, words), dtype=bitset.WORD_DTYPE)
+            self._scratch = block
+        return block[:rows]
+
+    def _masked_row_popcounts(
+        self, candidate_ids: np.ndarray, mask_words: np.ndarray
+    ) -> np.ndarray:
+        """``popcount(bitmap[c] & mask)`` per candidate row, via the scratch
+        block — no ``(num_billboards, words)`` temporary is ever built."""
+        scratch = self._scratch_rows(len(candidate_ids), self.bitmap_words)
+        np.take(self._bitmap, candidate_ids, axis=0, out=scratch)
+        np.bitwise_and(scratch, mask_words, out=scratch)
+        return bitset.popcount_inplace(scratch).sum(axis=1).astype(np.int64)
+
+    def _gather_restricted(
+        self, candidate_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The candidates' covered ids concatenated, plus their boundaries.
+
+        Returns ``(gathered, bounds)`` where candidate ``i``'s covered ids
+        are ``gathered[bounds[i]:bounds[i + 1]]`` — the id-array kernel's
+        restricted gather, touching only the candidates' CSR slices.
+        """
+        flat, offsets = self._flat_coverage()
+        lengths = self._individual[candidate_ids]
+        bounds = np.concatenate([[0], np.cumsum(lengths)])
+        total = int(bounds[-1])
+        if total == 0:
+            return np.empty(0, dtype=np.int64), bounds
+        positions = (
+            np.repeat(offsets[candidate_ids] - bounds[:-1], lengths)
+            + np.arange(total)
+        )
+        return flat[positions], bounds
+
+    @staticmethod
+    def _segment_counts(mask: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+        """Per-segment true-counts of ``mask`` split at ``bounds``."""
+        cumulative = np.concatenate([[0], np.cumsum(mask.astype(np.int64))])
+        return cumulative[bounds[1:]] - cumulative[bounds[:-1]]
+
+    @staticmethod
+    def _as_candidates(candidate_ids) -> np.ndarray:
+        return np.ascontiguousarray(np.asarray(candidate_ids, dtype=np.int64))
+
     def batch_add_gains(
-        self, counts_row: np.ndarray, free_bits: np.ndarray | None = None
+        self,
+        counts_row: np.ndarray,
+        free_bits: np.ndarray | None = None,
+        candidate_ids: np.ndarray | None = None,
     ) -> np.ndarray:
         """Marginal influence of adding *each* billboard to a set.
 
@@ -431,6 +501,10 @@ class CoverageIndex:
         billboard ``b``.  With the bitmap kernel this is one masked popcount
         over the whole matrix; ``free_bits`` (the packed ``counts_row == 0``
         mask) can be supplied by callers that maintain it incrementally.
+
+        With ``candidate_ids`` only those rows are computed and the result is
+        aligned to the candidate order (``g[i]`` belongs to
+        ``candidate_ids[i]``) — bit-identical to slicing the full pass.
         """
         if self.batch_prefers_bitmap:
             bitmap = self._ensure_bitmap()
@@ -438,15 +512,24 @@ class CoverageIndex:
                 if free_bits is None:
                     free_bits = bitset.pack_bits(counts_row == 0)
                 obs.counter_add("influence.dispatch.bitmap")
+                if candidate_ids is not None:
+                    candidate_ids = self._as_candidates(candidate_ids)
+                    obs.histogram_observe(
+                        "influence.popcount.rows", len(candidate_ids)
+                    )
+                    return self._masked_row_popcounts(candidate_ids, free_bits)
                 obs.histogram_observe("influence.popcount.rows", self.num_billboards)
                 return bitset.popcount(bitmap & free_bits).sum(axis=1).astype(np.int64)
         obs.counter_add("influence.dispatch.idarray")
+        if candidate_ids is not None:
+            candidate_ids = self._as_candidates(candidate_ids)
+            obs.histogram_observe("influence.popcount.rows", len(candidate_ids))
+            gathered, bounds = self._gather_restricted(candidate_ids)
+            return self._segment_counts(counts_row[gathered] == 0, bounds)
         flat, offsets = self._flat_coverage()
         if len(flat) == 0:
             return np.zeros(self.num_billboards, dtype=np.int64)
-        mask = (counts_row[flat] == 0).astype(np.int64)
-        cumulative = np.concatenate([[0], np.cumsum(mask)])
-        return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+        return self._segment_counts(counts_row[flat] == 0, offsets)
 
     def batch_add_gains_without(
         self,
@@ -454,6 +537,7 @@ class CoverageIndex:
         removed_billboard: int,
         free_bits: np.ndarray | None = None,
         ones_bits: np.ndarray | None = None,
+        candidate_ids: np.ndarray | None = None,
     ) -> np.ndarray:
         """:meth:`batch_add_gains` as if ``removed_billboard`` had already been
         removed from the set behind ``counts_row`` — without mutating the row.
@@ -463,6 +547,8 @@ class CoverageIndex:
         scan's kernel: it prices ``S − o_m + o_n`` for every candidate ``o_n``
         while the allocation itself stays untouched.  ``free_bits`` /
         ``ones_bits`` are the packed ``counts_row == 0`` / ``== 1`` masks.
+        ``candidate_ids`` restricts the pass to those rows (result aligned to
+        the candidate order), bit-identical to slicing the full pass.
         """
         if self.batch_prefers_bitmap:
             bitmap = self._ensure_bitmap()
@@ -473,28 +559,44 @@ class CoverageIndex:
                     ones_bits = bitset.pack_bits(counts_row == 1)
                 released_free = free_bits | (ones_bits & bitmap[removed_billboard])
                 obs.counter_add("influence.dispatch.bitmap")
+                if candidate_ids is not None:
+                    candidate_ids = self._as_candidates(candidate_ids)
+                    obs.histogram_observe(
+                        "influence.popcount.rows", len(candidate_ids)
+                    )
+                    return self._masked_row_popcounts(candidate_ids, released_free)
                 obs.histogram_observe("influence.popcount.rows", self.num_billboards)
                 return (
                     bitset.popcount(bitmap & released_free).sum(axis=1).astype(np.int64)
                 )
         obs.counter_add("influence.dispatch.idarray")
+        removed = np.zeros(self.num_trajectories, dtype=counts_row.dtype)
+        removed[self._covered[removed_billboard]] = 1
+        if candidate_ids is not None:
+            candidate_ids = self._as_candidates(candidate_ids)
+            obs.histogram_observe("influence.popcount.rows", len(candidate_ids))
+            gathered, bounds = self._gather_restricted(candidate_ids)
+            return self._segment_counts(
+                (counts_row[gathered] - removed[gathered]) == 0, bounds
+            )
         flat, offsets = self._flat_coverage()
         if len(flat) == 0:
             return np.zeros(self.num_billboards, dtype=np.int64)
-        removed = np.zeros(self.num_trajectories, dtype=counts_row.dtype)
-        removed[self._covered[removed_billboard]] = 1
-        mask = ((counts_row[flat] - removed[flat]) == 0).astype(np.int64)
-        cumulative = np.concatenate([[0], np.cumsum(mask)])
-        return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+        return self._segment_counts((counts_row[flat] - removed[flat]) == 0, offsets)
 
     def batch_remove_losses(
-        self, counts_row: np.ndarray, ones_bits: np.ndarray | None = None
+        self,
+        counts_row: np.ndarray,
+        ones_bits: np.ndarray | None = None,
+        candidate_ids: np.ndarray | None = None,
     ) -> np.ndarray:
         """Influence lost by removing *each* billboard from a set.
 
         ``l[b] = |{t ∈ cov(b) : counts_row[t] == 1}|``; only meaningful for
         billboards actually in the set, but computed for all.  ``ones_bits``
         is the packed ``counts_row == 1`` mask (optional, bitmap path only).
+        ``candidate_ids`` restricts the pass to those rows (result aligned to
+        the candidate order), bit-identical to slicing the full pass.
         """
         if self.batch_prefers_bitmap:
             bitmap = self._ensure_bitmap()
@@ -502,15 +604,84 @@ class CoverageIndex:
                 if ones_bits is None:
                     ones_bits = bitset.pack_bits(counts_row == 1)
                 obs.counter_add("influence.dispatch.bitmap")
+                if candidate_ids is not None:
+                    candidate_ids = self._as_candidates(candidate_ids)
+                    obs.histogram_observe(
+                        "influence.popcount.rows", len(candidate_ids)
+                    )
+                    return self._masked_row_popcounts(candidate_ids, ones_bits)
                 obs.histogram_observe("influence.popcount.rows", self.num_billboards)
                 return bitset.popcount(bitmap & ones_bits).sum(axis=1).astype(np.int64)
         obs.counter_add("influence.dispatch.idarray")
+        if candidate_ids is not None:
+            candidate_ids = self._as_candidates(candidate_ids)
+            obs.histogram_observe("influence.popcount.rows", len(candidate_ids))
+            gathered, bounds = self._gather_restricted(candidate_ids)
+            return self._segment_counts(counts_row[gathered] == 1, bounds)
         flat, offsets = self._flat_coverage()
         if len(flat) == 0:
             return np.zeros(self.num_billboards, dtype=np.int64)
-        mask = (counts_row[flat] == 1).astype(np.int64)
-        cumulative = np.concatenate([[0], np.cumsum(mask)])
-        return cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+        return self._segment_counts(counts_row[flat] == 1, offsets)
+
+    def batch_swap_deltas(
+        self,
+        removed_billboard: int,
+        candidate_ids: np.ndarray,
+        counts_row: np.ndarray,
+        free_bits: np.ndarray | None = None,
+        ones_bits: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """:meth:`swap_delta` for one removed billboard against *many* added
+        candidates in one vectorized pass.
+
+        ``d[i]`` equals ``swap_delta(removed_billboard, candidate_ids[i],
+        counts_row)`` bit-for-bit; the loss term is shared across candidates
+        and each gain term is a restricted masked popcount (bitmap kernel) or
+        a restricted CSR gather (id-array kernel).
+        """
+        candidate_ids = self._as_candidates(candidate_ids)
+        if len(candidate_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        ids_cost = int(
+            self._individual[candidate_ids].sum()
+            + self._individual[removed_billboard]
+        )
+        bitmap = (
+            self._ensure_bitmap()
+            if ids_cost > (len(candidate_ids) + 2) * self.bitmap_words
+            else None
+        )
+        if bitmap is not None:
+            obs.counter_add("influence.dispatch.bitmap")
+            obs.histogram_observe(
+                "influence.popcount.rows", 2 * len(candidate_ids)
+            )
+            row_removed = bitmap[removed_billboard]
+            if free_bits is None:
+                free_bits = bitset.pack_bits(counts_row == 0)
+            if ones_bits is None:
+                ones_bits = bitset.pack_bits(counts_row == 1)
+            loss = bitset.popcount_total(row_removed & ones_bits)
+            freed_mask = free_bits & ~row_removed
+            recovered_mask = row_removed & ones_bits
+            gains = self._masked_row_popcounts(candidate_ids, freed_mask)
+            gains += self._masked_row_popcounts(candidate_ids, recovered_mask)
+            return gains - loss
+        obs.counter_add("influence.dispatch.idarray")
+        obs.histogram_observe("influence.popcount.rows", len(candidate_ids))
+        cov_removed = self._covered[removed_billboard]
+        loss = int(np.count_nonzero(counts_row[cov_removed] == 1))
+        gathered, bounds = self._gather_restricted(candidate_ids)
+        if len(cov_removed):
+            positions = np.searchsorted(cov_removed, gathered)
+            positions[positions == len(cov_removed)] = len(cov_removed) - 1
+            in_removed = (cov_removed[positions] == gathered).astype(counts_row.dtype)
+        else:
+            in_removed = np.zeros(len(gathered), dtype=counts_row.dtype)
+        gains = self._segment_counts(
+            (counts_row[gathered] - in_removed) == 0, bounds
+        )
+        return gains - loss
 
     def swap_delta(
         self,
@@ -573,6 +744,21 @@ class CoverageIndex:
     def individual_influences(self) -> np.ndarray:
         """``I({o})`` for every billboard, as an ``int64`` vector."""
         return self._individual
+
+    @property
+    def individual_influences_f64(self) -> np.ndarray:
+        """:attr:`individual_influences` as a cached read-only ``float64`` vector.
+
+        The per-billboard influences never change after construction, so hot
+        callers (the exchange screen and partner selection run once per owned
+        billboard per sweep) share one conversion instead of allocating a
+        fresh ``astype`` copy per call.
+        """
+        if self._individual_f64 is None:
+            converted = self._individual.astype(np.float64)
+            converted.setflags(write=False)
+            self._individual_f64 = converted
+        return self._individual_f64
 
     def influence_of(self, billboard_id: int) -> int:
         """``I({o})`` of a single billboard."""

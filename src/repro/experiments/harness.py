@@ -24,7 +24,6 @@ between ``workers=N`` and serial runs.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -110,36 +109,47 @@ _WORKER_STATE: dict = {}
 
 
 def _worker_init(
-    scenario: Scenario,
-    city: CityDataset | None,
+    city: CityDataset,
+    base_lambda: float,
     obs_enabled: bool = False,
     coverage_spec=None,
 ) -> None:
-    _WORKER_STATE["scenario"] = scenario
-    _WORKER_STATE["city"] = city if city is not None else scenario.build_city()
-    if obs_enabled:
-        obs.enable()
-    else:
-        obs.disable()
+    from repro.parallel.pool import _freeze_worker_heap, _sync_worker_obs
+
+    _WORKER_STATE["city"] = city
+    _sync_worker_obs(obs_enabled)
     # With a fork start method the child inherits the parent's registry
     # contents; clear them so per-task snapshots hold only this worker's work.
     # The reset runs before the attach so the one shm.attach this worker ever
     # performs lands in its first task snapshot.
     obs.reset()
     if coverage_spec is not None:
-        # Zero-copy: attach the parent's coverage index at the scenario's base
-        # λ instead of re-running the radius join (or unpickling a copy) here.
-        # Sweep tasks at a *different* λ still build locally on first use.
+        # Zero-copy: attach the parent's coverage index at the pool-creating
+        # scenario's base λ instead of re-running the radius join (or
+        # unpickling a copy) here.  Tasks at a *different* λ still build
+        # locally on first use and stay cached for the pool's lifetime.
         from repro.billboard.influence import CoverageIndex
 
         attached = CoverageIndex.attach_shared(coverage_spec)
-        key = (float(scenario.lambda_m), False)
+        key = (float(base_lambda), False)
         _WORKER_STATE["city"]._coverage_cache[key] = attached
+    _freeze_worker_heap()
 
 
 def _worker_run(task: tuple) -> tuple:
-    parameter, value, method, restarts, solver_seed, runtime_repeats = task
-    scenario: Scenario = _WORKER_STATE["scenario"]
+    from repro.parallel.pool import _sync_worker_obs
+
+    (
+        scenario,
+        parameter,
+        value,
+        method,
+        restarts,
+        solver_seed,
+        runtime_repeats,
+        obs_enabled,
+    ) = task
+    _sync_worker_obs(obs_enabled)
     city: CityDataset = _WORKER_STATE["city"]
     span_attrs = {} if parameter is None else {"parameter": parameter, "value": value}
     if parameter is not None:
@@ -148,8 +158,35 @@ def _worker_run(task: tuple) -> tuple:
     metrics = _run_method(
         method, instance, restarts, solver_seed, runtime_repeats, span_attrs
     )
-    snapshot = obs.take_snapshot(reset_after=True) if obs.enabled() else None
-    return value, method, metrics, snapshot
+    snapshot = obs.take_snapshot(reset_after=True) if obs_enabled else None
+    return (value, method, metrics), snapshot
+
+
+def _harness_pool(city: CityDataset, scenario: Scenario, workers: int):
+    """The persistent harness pool of ``(city, workers)``.
+
+    The first call exports the city's base-λ coverage to shared memory and
+    forks the workers; later calls — other sweeps, other scenarios on the
+    same city — reuse the warm pool, and the scenario rides in each task
+    instead of the initializer so reuse is keyed by the city alone.
+    """
+    from repro.parallel.pool import PersistentPool, pool_for
+
+    def spawn() -> PersistentPool:
+        shared = city.coverage(scenario.lambda_m).to_shared()
+        # Workers receive a copy without the coverage cache: the index
+        # travels through the shared segments, not the pickle stream.
+        worker_city = CityDataset(
+            name=city.name, billboards=city.billboards, trajectories=city.trajectories
+        )
+        return PersistentPool(
+            workers,
+            initializer=_worker_init,
+            initargs=(worker_city, float(scenario.lambda_m), obs.enabled(), shared.spec),
+            shared=shared,
+        )
+
+    return pool_for(city, workers, spawn)
 
 
 def _run_parallel(
@@ -164,33 +201,18 @@ def _run_parallel(
     regardless of completion order — including the order worker metric
     snapshots are merged into the parent registry.
 
-    The city is generated once here and its base-λ coverage index is exported
-    to shared memory; each worker ships the (coverage-cache-free) city plus
-    the segment names, attaches the index read-only exactly once, and never
-    unpickles a ``CoverageIndex``.
+    The pool persists across calls (see :func:`_harness_pool`): the city and
+    its base-λ coverage ship to each worker exactly once per pool, not once
+    per ``sweep``/``run_cell`` call.
     """
     if city is None:
         city = scenario.build_city()
-    shared = city.coverage(scenario.lambda_m).to_shared()
-    # Workers receive a copy without the coverage cache: the index travels
-    # through the shared segments, not the pickle stream.
-    worker_city = CityDataset(
-        name=city.name, billboards=city.billboards, trajectories=city.trajectories
+    pool = _harness_pool(city, scenario, workers)
+    obs_enabled = obs.enabled()
+    results = pool.map(
+        _worker_run, [(scenario, *task, obs_enabled) for task in tasks]
     )
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(scenario, worker_city, obs.enabled(), shared.spec),
-        ) as pool:
-            completed = pool.map(_worker_run, tasks, chunksize=1)
-            by_key = {}
-            for value, method, metrics, snapshot in completed:
-                obs.merge_snapshot(snapshot)
-                by_key[(value, method)] = metrics
-            return by_key
-    finally:
-        shared.close()
+    return {(value, method): metrics for value, method, metrics in results}
 
 
 def _check_workers(workers: int | None) -> int:

@@ -1,11 +1,21 @@
 """Zero-copy process parallelism: shared-memory coverage + restart fan-out.
 
 ``repro.parallel.shared`` owns shared-memory segment lifecycle
-(create/attach/unlink with atexit cleanup); ``repro.parallel.restarts``
-drives multi-restart local search and multi-chain annealing over worker
-pools that attach the coverage index instead of unpickling a copy.
+(create/attach/unlink with atexit cleanup); ``repro.parallel.pool`` keeps
+worker pools alive across driver calls (spawn once per ``(owner, workers)``
+pair, reuse until the owner dies); ``repro.parallel.restarts`` drives
+multi-restart local search and multi-chain annealing over those pools,
+whose workers attach the coverage index instead of unpickling a copy.
 """
 
+from repro.parallel.pool import (
+    PersistentPool,
+    SharedInstancePool,
+    close_all_pools,
+    effective_workers,
+    instance_pool,
+    pool_for,
+)
 from repro.parallel.restarts import (
     allocation_from_owners,
     run_annealing_chains,
@@ -19,11 +29,17 @@ from repro.parallel.shared import (
 )
 
 __all__ = [
+    "PersistentPool",
     "SharedArraySpec",
     "SharedCoverage",
     "SharedCoverageSpec",
+    "SharedInstancePool",
     "allocation_from_owners",
     "attach_array",
+    "close_all_pools",
+    "effective_workers",
+    "instance_pool",
+    "pool_for",
     "run_annealing_chains",
     "run_local_search_restarts",
 ]

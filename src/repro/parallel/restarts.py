@@ -7,16 +7,17 @@ each worker performs exactly one ``shm.attach``.  Tasks carry pre-drawn
 restart seeds, so the parallel paths run the *same* restarts the serial
 paths run and the best-plan reduction (strict ``<`` in restart order) picks
 the identical winner.
+
+The worker pool is *persistent* (:mod:`repro.parallel.pool`): the first
+driver call for an ``(instance, workers)`` pair spawns it, every later call
+— more restarts, annealing chains, repeated solver runs — reuses the warm
+processes, so the fork/attach cost is paid once per instance, not per call.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-
 import numpy as np
 
-from repro import obs
-from repro.billboard.influence import CoverageIndex
 from repro.core.allocation import UNASSIGNED, Allocation
 from repro.core.problem import MROAMInstance
 
@@ -29,52 +30,16 @@ def allocation_from_owners(instance: MROAMInstance, owners: np.ndarray) -> Alloc
     return allocation
 
 
-# Worker-process state, populated once per process by the pool initializer.
-_WORKER_STATE: dict = {}
-
-
-def _worker_init(coverage_spec, advertisers, gamma, obs_enabled: bool) -> None:
-    if obs_enabled:
-        obs.enable()
-    else:
-        obs.disable()
-    # With a fork start method the child inherits the parent's registry
-    # contents; clear them *before* attaching so the shm.attach count lands
-    # in this worker's first task snapshot.
-    obs.reset()
-    coverage = CoverageIndex.attach_shared(coverage_spec)
-    _WORKER_STATE["instance"] = MROAMInstance(coverage, list(advertisers), gamma)
-
-
-def _worker_call(task: tuple) -> tuple:
-    runner, payload = task
-    result = runner(_WORKER_STATE["instance"], payload)
-    snapshot = obs.take_snapshot(reset_after=True) if obs.enabled() else None
-    return result, snapshot
-
-
 def _map_over_shared_instance(
     instance: MROAMInstance, runner, payloads: list, workers: int
 ) -> list:
     """Run ``runner(instance, payload)`` for each payload across ``workers``
-    processes sharing one exported coverage index; results in payload order.
+    persistent processes sharing one exported coverage index; results in
+    payload order.
     """
-    shared = instance.coverage.to_shared()
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(shared.spec, list(instance.advertisers), instance.gamma, obs.enabled()),
-        ) as pool:
-            results = []
-            for result, snapshot in pool.map(
-                _worker_call, [(runner, payload) for payload in payloads], chunksize=1
-            ):
-                obs.merge_snapshot(snapshot)
-                results.append(result)
-            return results
-    finally:
-        shared.close()
+    from repro.parallel.pool import instance_pool
+
+    return instance_pool(instance, workers).run(runner, payloads)
 
 
 def _local_search_restart(instance: MROAMInstance, payload: tuple) -> dict:
@@ -90,8 +55,11 @@ def _local_search_restart(instance: MROAMInstance, payload: tuple) -> dict:
         plan.assign(int(billboard_id), int(advertiser_id))
     synchronous_greedy(plan, stats=stats)
     if params["neighborhood"] == "als":
+        # ALS has no coverage scans to restrict; "dirty-full-scan" maps to
+        # "dirty" exactly as in RandomizedLocalSearch._local_search.
+        als_engine = "full" if params["engine"] == "full" else "dirty"
         plan = advertiser_driven_local_search(
-            plan, params["min_improvement"], stats, engine=params["engine"]
+            plan, params["min_improvement"], stats, engine=als_engine
         )
     else:
         plan = billboard_driven_local_search(

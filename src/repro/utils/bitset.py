@@ -65,6 +65,19 @@ else:  # pragma: no cover - exercised only on numpy 1.x
         return counts.sum(axis=-1, dtype=np.uint64)
 
 
+def popcount_inplace(words: np.ndarray) -> np.ndarray:
+    """Per-word population count, reusing ``words`` as the output buffer.
+
+    On numpy >= 2.0 the counts overwrite ``words`` (zero extra allocation —
+    this is what the restricted batch passes run on their scratch block); on
+    the 1.x fallback a fresh array is returned and ``words`` is untouched.
+    Callers must treat ``words`` as clobbered either way.
+    """
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words, out=words)
+    return popcount(words)  # pragma: no cover - numpy 1.x only
+
+
 def popcount_total(words: np.ndarray) -> int:
     """Total number of set bits across the whole array."""
     if words.size == 0:

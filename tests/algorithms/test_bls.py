@@ -3,6 +3,9 @@
 import pytest
 
 from repro.algorithms.bls import (
+    _all_exchange_candidates,
+    _exchange_screen,
+    _exchange_screen_batch,
     _find_improving_exchange,
     _optimistic_regret,
     billboard_driven_local_search,
@@ -139,6 +142,48 @@ class TestFindImprovingExchange:
         _find_improving_exchange(allocation, 0, 0, 1e-9)
         assert allocation.assignment_map() == snapshot
         validate_allocation(allocation)
+
+
+class TestExchangeScreenBatch:
+    def test_batch_verdicts_match_scalar_screen(self):
+        """One batched pass over an advertiser's billboards must return the
+        scalar screen's verdict for every one of them (the dirty engine's
+        skip proofs rest on this)."""
+        for seed in range(6):
+            instance = make_random_instance(seed, num_billboards=14, num_advertisers=4)
+            allocation = random_allocation(instance, seed + 300)
+            rng = np.random.default_rng(seed)
+            for advertiser_id in range(instance.num_advertisers):
+                owned = sorted(allocation.billboards_of(advertiser_id))
+                if not owned:
+                    continue
+                candidate_sets = []
+                for billboard in owned:
+                    full = _all_exchange_candidates(
+                        allocation.owners, advertiser_id, billboard
+                    )
+                    # Mix of full, random-subset, and empty candidate sets.
+                    choice = rng.integers(3)
+                    if choice == 1 and len(full):
+                        full = rng.choice(full, size=max(1, len(full) // 2), replace=False)
+                        full = np.sort(full)
+                    elif choice == 2:
+                        full = full[:0]
+                    candidate_sets.append(full)
+                verdicts = _exchange_screen_batch(
+                    allocation, advertiser_id, owned, candidate_sets, 1e-9
+                )
+                for billboard, ids, verdict in zip(owned, candidate_sets, verdicts):
+                    assert verdict == _exchange_screen(
+                        allocation, advertiser_id, billboard, ids, 1e-9
+                    )
+
+    def test_all_empty_candidate_sets(self, tiny_instance):
+        allocation = Allocation(tiny_instance)
+        allocation.assign(0, 0)
+        empty = np.empty(0, dtype=np.int64)
+        verdicts = _exchange_screen_batch(allocation, 0, [0], [empty], 1e-9)
+        assert not verdicts.any()
 
 
 class TestSearch:

@@ -35,16 +35,23 @@ class TestConstruction:
         with pytest.raises(ValueError, match="demand must be positive"):
             regret_values(5.0, 0.0, 0.5, np.array([1.0, 2.0]))
 
-    def test_optimistic_regret_guard(self):
+    def test_hot_path_variants_skip_the_guard(self):
+        """The per-move internals (`_regret_values_unchecked`,
+        `_optimistic_regret`) intentionally carry no demand validation — it
+        lives at instance construction and in the public ``regret_values``
+        only.  Both must agree with the checked entry point on valid input."""
+        from repro.algorithms._marginal import _regret_values_unchecked, regret_values
         from repro.algorithms.bls import _optimistic_regret
 
-        with pytest.raises(ValueError, match="demands must be positive"):
+        achieved = np.array([0.0, 1.0, 2.0, 5.0])
+        assert np.array_equal(
+            _regret_values_unchecked(5.0, 2.0, 0.5, achieved),
+            regret_values(5.0, 2.0, 0.5, achieved),
+        )
+        # No raise on a degenerate demand: the guard is the caller's job.
+        with np.errstate(divide="ignore", invalid="ignore"):
             _optimistic_regret(
-                np.array([5.0]),
-                np.array([0.0]),
-                0.5,
-                np.array([0.0]),
-                np.array([2.0]),
+                np.array([5.0]), np.array([0.0]), 0.5, np.array([1.0]), np.array([2.0])
             )
 
     def test_requires_advertisers(self):

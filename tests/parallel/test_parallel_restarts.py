@@ -48,9 +48,14 @@ class TestLocalSearchRestarts:
 
     def test_one_attach_per_worker(self, instance):
         """Workers attach the shared index exactly once (in the pool
-        initializer), never per restart — the zero-copy claim."""
-        workers = 2
+        initializer), never per restart — the zero-copy claim.  Pools
+        persist across calls, so close any live pool first: the attach is
+        only observable on a pool spawned while obs is enabled."""
+        from repro.parallel.pool import close_all_pools
+
+        workers = 2  # the pool may cap this to the CPUs actually available
         restarts = 6
+        close_all_pools()
         obs.enable()
         try:
             obs.reset()
@@ -61,6 +66,7 @@ class TestLocalSearchRestarts:
         finally:
             obs.disable()
             obs.reset()
+            close_all_pools()
         # Snapshots ship with task results, so the merged total counts one
         # attach per worker that completed at least one restart — never one
         # per restart, which is what per-task pickling would look like.
