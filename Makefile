@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench lint obs-demo
+.PHONY: test bench-smoke bench bench-scale bench-scale-smoke lint obs-demo
 
 ## Tier-1 test suite (also runs the benchmark script's smoke mode, see
 ## tests/experiments/test_parallel_harness.py).
@@ -19,10 +19,22 @@ bench-smoke:
 	$(PYTHON) scripts/bench_solvers.py --smoke --output /tmp/BENCH_solvers_smoke.json \
 		--assert-parallel-speedup 1.0
 
-## Full benchmarks; rewrite BENCH_coverage.json / BENCH_solvers.json at the root.
+## Full benchmarks; append a run to BENCH_coverage.json / BENCH_solvers.json
+## at the root and fail when any timing regresses >15% against the best
+## recorded run of the same scenario.
 bench:
-	$(PYTHON) scripts/bench_coverage.py --output BENCH_coverage.json
-	$(PYTHON) scripts/bench_solvers.py --output BENCH_solvers.json
+	$(PYTHON) scripts/bench_coverage.py --output BENCH_coverage.json --gate-regression
+	$(PYTHON) scripts/bench_solvers.py --output BENCH_solvers.json --gate-regression
+
+## Paper-scale sweep (10^4 -> 2*10^6 streamed trajectories): storage tiers,
+## popcount kernels, bit-identity, and one greedy+BLS cell under a 512 MB
+## bitmap budget.  Appends to BENCH_scale.json; takes minutes at full scale.
+bench-scale:
+	$(PYTHON) scripts/bench_scale.py --output BENCH_scale.json
+
+## The 10^4 tier only — seconds-fast CI wiring for the scale sweep.
+bench-scale-smoke:
+	$(PYTHON) scripts/bench_scale.py --smoke --output /tmp/BENCH_scale_smoke.json
 
 ## Syntax/bytecode gate over all Python sources (the container ships no
 ## third-party linter, so this is a stdlib-only check).

@@ -1,0 +1,123 @@
+"""Append-only benchmark history and the >15% regression gate.
+
+The bench scripts used to overwrite their ``BENCH_*.json`` with the latest
+single report, losing the perf trajectory the ROADMAP's querytorque-style
+bench discipline wants.  This module turns those files into append-only time
+series::
+
+    {"schema": "bench-history-v1", "runs": [<report>, <report>, ...]}
+
+Each run is the same commit-stamped report dict the scripts always produced
+(legacy single-report files are migrated in place on first append).  Runs are
+keyed by a *scenario key* — benchmark name + scenario parameters — so a
+smoke run never gates against a full run and a resized scenario starts a
+fresh baseline.
+
+The regression gate compares every ``*_s`` timing of the new run against the
+**best** (minimum) value recorded for the same scenario key and metric, and
+fails when any is slower than ``threshold`` (default 1.15 = >15% slower).
+With no prior baseline for the key the gate passes trivially — a fresh CI
+workspace gates nothing, while a checked-in history gates every run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+SCHEMA = "bench-history-v1"
+
+#: Fail when a timing exceeds best-recorded × this factor.
+DEFAULT_THRESHOLD = 1.15
+
+
+def scenario_key(report: dict) -> str:
+    """Stable identity of one benchmark configuration."""
+    scenario = report.get("scenario", {})
+    parts = [str(report.get("benchmark", "unknown"))]
+    parts.extend(f"{k}={scenario[k]}" for k in sorted(scenario))
+    if report.get("smoke"):
+        parts.append("smoke")
+    return "|".join(parts)
+
+
+def load_history(path: str | Path) -> dict:
+    """The history at ``path`` (empty, or migrated from a legacy report)."""
+    path = Path(path)
+    if not path.is_file():
+        return {"schema": SCHEMA, "runs": []}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {"schema": SCHEMA, "runs": []}
+    if isinstance(data, dict) and data.get("schema") == SCHEMA:
+        runs = data.get("runs")
+        return {"schema": SCHEMA, "runs": runs if isinstance(runs, list) else []}
+    if isinstance(data, dict) and "benchmark" in data:
+        # Legacy layout: the file held one bare report.
+        return {"schema": SCHEMA, "runs": [data]}
+    return {"schema": SCHEMA, "runs": []}
+
+
+def append_run(path: str | Path, report: dict) -> dict:
+    """Append ``report`` to the history at ``path`` and write it back."""
+    path = Path(path)
+    history = load_history(path)
+    entry = dict(report)
+    entry.setdefault(
+        "recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())
+    )
+    history["runs"].append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return history
+
+
+def timing_metrics(report: dict, prefix: str = "") -> dict[str, float]:
+    """Every ``*_s`` timing in a report, flattened to dotted paths."""
+    metrics: dict[str, float] = {}
+    for key, value in report.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            metrics.update(timing_metrics(value, prefix=f"{dotted}."))
+        elif (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and key.endswith("_s")
+        ):
+            metrics[dotted] = float(value)
+    return metrics
+
+
+def best_baselines(history: dict, key: str) -> dict[str, float]:
+    """Best (minimum) recorded value per timing metric for one scenario key."""
+    best: dict[str, float] = {}
+    for run in history.get("runs", []):
+        if scenario_key(run) != key:
+            continue
+        for metric, value in timing_metrics(run).items():
+            if value > 0 and (metric not in best or value < best[metric]):
+                best[metric] = value
+    return best
+
+
+def gate_regression(
+    history: dict, report: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Messages for every timing of ``report`` slower than best × threshold.
+
+    ``history`` should hold the *prior* runs (gate before appending, or
+    accept that the new run is its own >=1.0x baseline and can never fail).
+    An empty list means the gate passes; no baseline for the scenario key
+    passes trivially.
+    """
+    baselines = best_baselines(history, scenario_key(report))
+    failures = []
+    for metric, value in timing_metrics(report).items():
+        best = baselines.get(metric)
+        if best is not None and value > best * threshold:
+            failures.append(
+                f"{metric}: {value:.4f}s is {value / best:.2f}x the best "
+                f"recorded {best:.4f}s (threshold {threshold:.2f}x)"
+            )
+    return failures

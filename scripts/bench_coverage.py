@@ -10,12 +10,17 @@ Times, on the default NYC-scale benchmark city:
   bitmap kernel disabled vs enabled (the ``influence_of_set``-heavy workload
   of the paper's efficiency study).
 
-Writes ``BENCH_coverage.json`` — the repo's first perf-trajectory point.
+Appends to ``BENCH_coverage.json`` — an append-only, commit-stamped time
+series (see ``scripts/_bench_history.py``); ``--gate-regression 1.15`` fails
+the run when any timing is >15% slower than the best recorded run of the
+same scenario.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_coverage.py            # full bench
     PYTHONPATH=src python scripts/bench_coverage.py --smoke    # seconds-fast
+    PYTHONPATH=src python scripts/bench_coverage.py \
+        --gate-regression 1.15                                 # CI gate
 """
 
 from __future__ import annotations
@@ -25,11 +30,15 @@ import json
 import os
 import platform
 import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import _bench_history
 
 from repro import obs
 from repro.billboard import coverage_cache
@@ -239,6 +248,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--output", default="BENCH_coverage.json")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--gate-regression",
+        type=float,
+        default=None,
+        nargs="?",
+        const=_bench_history.DEFAULT_THRESHOLD,
+        metavar="X",
+        help="fail when any timing exceeds X times the best recorded run of "
+        f"the same scenario (default X={_bench_history.DEFAULT_THRESHOLD})",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -275,9 +294,18 @@ def main(argv: list[str] | None = None) -> int:
         "obs": obs_columns,
     }
     path = Path(args.output)
-    path.write_text(json.dumps(report, indent=2) + "\n")
+    prior = _bench_history.load_history(path)
+    history = _bench_history.append_run(path, report)
     print(json.dumps(report, indent=2))
-    print(f"\nwrote {path}")
+    print(f"\nappended run {len(history['runs'])} to {path}")
+    if args.gate_regression is not None:
+        failures = _bench_history.gate_regression(prior, report, args.gate_regression)
+        if failures:
+            print("\nREGRESSION GATE FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"regression gate passed (threshold {args.gate_regression:.2f}x)")
     return 0
 
 

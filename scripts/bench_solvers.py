@@ -25,7 +25,10 @@ Times, on the PR-1 ``bls_cell`` scenario (NYC scale, seed 7):
 ``best_restart`` uses ``-1`` as a sentinel meaning the deterministic greedy
 start was never beaten by a random restart; restart indices count from 0.
 
-Writes ``BENCH_solvers.json``, stamped with the producing git commit.
+Appends to ``BENCH_solvers.json`` — an append-only, commit-stamped time
+series (see ``scripts/_bench_history.py``); ``--gate-regression 1.15`` fails
+the run when any timing is >15% slower than the best recorded run of the
+same scenario.
 
 Usage::
 
@@ -41,10 +44,14 @@ import argparse
 import json
 import platform
 import subprocess
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import _bench_history
 
 from repro import obs
 from repro.algorithms.bls import SWEEP_ENGINES, billboard_driven_local_search
@@ -281,6 +288,16 @@ def main(argv: list[str] | None = None) -> int:
         metavar="X",
         help="fail unless the dirty engine reaches X× over dirty-full-scan",
     )
+    parser.add_argument(
+        "--gate-regression",
+        type=float,
+        default=None,
+        nargs="?",
+        const=_bench_history.DEFAULT_THRESHOLD,
+        metavar="X",
+        help="fail when any timing exceeds X times the best recorded run of "
+        f"the same scenario (default X={_bench_history.DEFAULT_THRESHOLD})",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -318,10 +335,19 @@ def main(argv: list[str] | None = None) -> int:
         "parallel_restarts": parallel,
     }
     path = Path(args.output)
-    path.write_text(json.dumps(report, indent=2) + "\n")
+    prior = _bench_history.load_history(path)
+    history = _bench_history.append_run(path, report)
     print(json.dumps(report, indent=2))
-    print(f"\nwrote {path}")
+    print(f"\nappended run {len(history['runs'])} to {path}")
 
+    if args.gate_regression is not None:
+        failures = _bench_history.gate_regression(prior, report, args.gate_regression)
+        if failures:
+            print("\nREGRESSION GATE FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"regression gate passed (threshold {args.gate_regression:.2f}x)")
     if args.assert_parallel_speedup is not None:
         assert parallel["speedup"] >= args.assert_parallel_speedup, (
             f"warm-pool parallel speedup {parallel['speedup']:.3f} below the "

@@ -26,7 +26,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import obs
-from repro.billboard.influence import CoverageIndex
+from repro.billboard import bitmap_store
+from repro.billboard.influence import CoverageIndex, _resolve_bitmap_budget_mb
 from repro.billboard.model import BillboardDB
 from repro.trajectory.model import TrajectoryDB
 
@@ -34,8 +35,12 @@ from repro.trajectory.model import TrajectoryDB
 CACHE_ENV = "REPRO_COVERAGE_CACHE"
 
 #: Bumped whenever the meet-test semantics or the file layout change, so a
-#: stale cache can never leak wrong coverage into an experiment.
-_FORMAT_VERSION = 1
+#: stale cache can never leak wrong coverage into an experiment.  v2 added
+#: the bitmap budget / storage mode to the content key: an in-RAM index and
+#: a memmap-sharded index of the same scenario are distinct cache entries,
+#: and a cached load now rebuilds with the caller's bitmap configuration
+#: instead of silently reverting to the defaults.
+_FORMAT_VERSION = 2
 
 
 def resolve_cache_dir(cache_dir: str | os.PathLike | None = None) -> Path | None:
@@ -51,12 +56,22 @@ def coverage_fingerprint(
     trajectories: TrajectoryDB,
     lambda_m: float,
     exact_segments: bool = False,
+    bitmap_budget_mb: float | None = None,
+    bitmap_storage: str | None = None,
 ) -> str:
-    """Hex digest identifying one coverage computation's exact inputs."""
+    """Hex digest identifying one coverage computation's exact inputs.
+
+    The bitmap budget and storage mode are part of the key (resolved the
+    same way the index resolves them, so argument and environment spellings
+    of the same configuration hash identically): indexes that dispatch to
+    different kernels/tiers must not collide in the cache.
+    """
     digest = hashlib.sha256()
     digest.update(f"repro-coverage-v{_FORMAT_VERSION}".encode())
     digest.update(np.float64(lambda_m).tobytes())
     digest.update(b"exact" if exact_segments else b"sampled")
+    digest.update(np.float64(_resolve_bitmap_budget_mb(bitmap_budget_mb)).tobytes())
+    digest.update(bitmap_store.resolve_storage(bitmap_storage).encode())
     digest.update(np.int64(len(billboards)).tobytes())
     digest.update(np.int64(len(trajectories)).tobytes())
     digest.update(np.ascontiguousarray(billboards.locations).tobytes())
@@ -95,8 +110,16 @@ def store(index: CoverageIndex, path: str | os.PathLike) -> Path:
     return path
 
 
-def load(path: str | os.PathLike) -> CoverageIndex | None:
-    """Load a cached index, or ``None`` if absent/unreadable/stale."""
+def load(
+    path: str | os.PathLike,
+    bitmap_budget_mb: float | None = None,
+    bitmap_storage: str | None = None,
+) -> CoverageIndex | None:
+    """Load a cached index, or ``None`` if absent/unreadable/stale.
+
+    The bitmap configuration is applied to the rebuilt index — a cache hit
+    dispatches to exactly the kernels a fresh build would.
+    """
     path = Path(path)
     if not path.is_file():
         return None
@@ -110,6 +133,8 @@ def load(path: str | os.PathLike) -> CoverageIndex | None:
                 archive["offsets"],
                 num_trajectories=int(archive["num_trajectories"]),
                 lambda_m=float(archive["lambda_m"]),
+                bitmap_budget_mb=bitmap_budget_mb,
+                bitmap_storage=bitmap_storage,
             )
     except (OSError, KeyError, ValueError, zipfile.BadZipFile):
         obs.counter_add("coverage_cache.corrupt")
@@ -122,6 +147,9 @@ def get_or_build(
     lambda_m: float = 100.0,
     exact_segments: bool = False,
     cache_dir: str | os.PathLike | None = None,
+    bitmap_budget_mb: float | None = None,
+    bitmap_storage: str | None = None,
+    chunk_size: int | None = None,
 ) -> CoverageIndex:
     """Load the coverage index from cache, building (and storing) on a miss.
 
@@ -131,18 +159,37 @@ def get_or_build(
     directory = resolve_cache_dir(cache_dir)
     if directory is None:
         return CoverageIndex(
-            billboards, trajectories, lambda_m=lambda_m, exact_segments=exact_segments
+            billboards,
+            trajectories,
+            lambda_m=lambda_m,
+            exact_segments=exact_segments,
+            bitmap_budget_mb=bitmap_budget_mb,
+            bitmap_storage=bitmap_storage,
+            chunk_size=chunk_size,
         )
-    fingerprint = coverage_fingerprint(billboards, trajectories, lambda_m, exact_segments)
+    fingerprint = coverage_fingerprint(
+        billboards,
+        trajectories,
+        lambda_m,
+        exact_segments,
+        bitmap_budget_mb=bitmap_budget_mb,
+        bitmap_storage=bitmap_storage,
+    )
     path = cache_path(directory, fingerprint)
     with obs.span("coverage_cache.get_or_build", fingerprint=fingerprint[:12]):
-        cached = load(path)
+        cached = load(path, bitmap_budget_mb, bitmap_storage)
         if cached is not None:
             obs.counter_add("coverage_cache.hit")
             return cached
         obs.counter_add("coverage_cache.miss")
         index = CoverageIndex(
-            billboards, trajectories, lambda_m=lambda_m, exact_segments=exact_segments
+            billboards,
+            trajectories,
+            lambda_m=lambda_m,
+            exact_segments=exact_segments,
+            bitmap_budget_mb=bitmap_budget_mb,
+            bitmap_storage=bitmap_storage,
+            chunk_size=chunk_size,
         )
         try:
             store(index, path)

@@ -40,16 +40,36 @@ popcounts ``len(candidates) × words`` words (no full-matrix ``bitmap &
 mask`` temporary), the id-array path gathers only the candidates' CSR
 slices.  Restricted results are bit-identical to slicing the full pass:
 ``batch_add_gains(row, candidate_ids=c) == batch_add_gains(row)[c]``.
+
+Paper-scale corpora (10⁶⁺ trajectories) add two more layers, both
+bit-identical to the in-RAM numpy path:
+
+* **streaming ingestion** — ``chunk_size=`` (or ``REPRO_COVERAGE_CHUNK_SIZE``)
+  feeds the grid radius join bounded chunks of trajectories, and
+  :meth:`CoverageIndex.from_trajectory_chunks` builds coverage from a chunk
+  *generator* so the full corpus never has to exist in memory at once;
+* **tiered bitmap storage** — the packed bitmap lives in a
+  :class:`~repro.billboard.bitmap_store.BitmapStore` (in-RAM, shared-memory,
+  or ``numpy.memmap`` row shards, see that module) so the bitmap kernel
+  keeps working past the RAM budget instead of degrading to id arrays, with
+  an optional numba-compiled popcount path
+  (:mod:`repro.billboard.popcount_jit`, ``REPRO_NUMBA=1``).
+
+Every bitmap dispatch records its storage tier (``influence.tier.ram`` /
+``.shm`` / ``.memmap``; id-array dispatches count ``influence.tier.idarray``)
+and its popcount kernel (``influence.kernel.numpy`` / ``.numba``).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.billboard import bitmap_store, popcount_jit
+from repro.billboard.bitmap_store import BitmapStore
 from repro.billboard.model import BillboardDB
 from repro.spatial.geometry import min_distance_to_polyline
 from repro.spatial.grid import GridIndex
@@ -58,6 +78,10 @@ from repro.utils import bitset
 
 #: Environment variable holding the bitmap memory budget in megabytes.
 BITMAP_BUDGET_ENV = "REPRO_BITMAP_BUDGET_MB"
+
+#: Environment variable holding the default ingestion chunk size (in
+#: trajectories) for coverage builds; unset = single-shot build.
+CHUNK_SIZE_ENV = "REPRO_COVERAGE_CHUNK_SIZE"
 
 #: Default bitmap memory budget (megabytes) when neither the constructor
 #: argument nor the environment variable is set.
@@ -82,22 +106,170 @@ def _resolve_bitmap_budget_mb(bitmap_budget_mb: float | None) -> float:
     return DEFAULT_BITMAP_BUDGET_MB
 
 
-def _max_sample_gap(trajectories: TrajectoryDB) -> float:
+def _resolve_chunk_size(chunk_size: int | None) -> int | None:
+    """Effective ingestion chunk size: argument, else environment, else None."""
+    if chunk_size is not None:
+        chunk_size = int(chunk_size)
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        return chunk_size
+    raw = os.environ.get(CHUNK_SIZE_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        from_env = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CHUNK_SIZE_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if from_env <= 0:
+        raise ValueError(f"{CHUNK_SIZE_ENV} must be a positive integer, got {raw!r}")
+    return from_env
+
+
+def _max_sample_gap(points: np.ndarray, point_counts: np.ndarray) -> float:
     """Largest distance between consecutive samples of any trajectory.
 
     One vectorized pass over the flat point store: consecutive-point
     distances are computed for the whole corpus at once and the diffs that
     straddle a trajectory boundary are masked out.
     """
-    points = trajectories.all_points
     if len(points) < 2:
         return 0.0
     gaps = np.sqrt(np.sum(np.diff(points, axis=0) ** 2, axis=1))
-    boundaries = np.cumsum(trajectories.point_counts)[:-1] - 1
+    boundaries = np.cumsum(point_counts)[:-1] - 1
     within = np.ones(len(gaps), dtype=bool)
     within[boundaries] = False
     gaps = gaps[within]
     return float(gaps.max()) if gaps.size else 0.0
+
+
+class _CorpusChunk:
+    """Adapter giving any trajectory chunk the three members the join needs.
+
+    Accepts a :class:`~repro.trajectory.model.TrajectoryDB` (or anything
+    exposing ``all_points`` / ``point_counts`` / ``points_of``), or a plain
+    ``(points, point_counts)`` pair.
+    """
+
+    __slots__ = ("points", "point_counts", "_offsets")
+
+    def __init__(self, points: np.ndarray, point_counts: np.ndarray) -> None:
+        self.points = np.asarray(points, dtype=np.float64)
+        self.point_counts = np.asarray(point_counts, dtype=np.int64)
+        self._offsets: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.point_counts)
+
+    def points_of(self, local_id: int) -> np.ndarray:
+        if self._offsets is None:
+            self._offsets = np.concatenate([[0], np.cumsum(self.point_counts)])
+        return self.points[self._offsets[local_id] : self._offsets[local_id + 1]]
+
+
+def _as_corpus_chunk(chunk) -> _CorpusChunk:
+    if isinstance(chunk, _CorpusChunk):
+        return chunk
+    if hasattr(chunk, "all_points") and hasattr(chunk, "point_counts"):
+        return _CorpusChunk(chunk.all_points, chunk.point_counts)
+    points, point_counts = chunk
+    return _CorpusChunk(points, point_counts)
+
+
+def _join_chunk(
+    locations: np.ndarray,
+    chunk: _CorpusChunk,
+    num_billboards: int,
+    lambda_m: float,
+    exact_segments: bool,
+) -> list[np.ndarray]:
+    """Per-billboard sorted covered ids (chunk-local) for one chunk.
+
+    This is the single radius-join step both the single-shot and the
+    streaming builds run: identical distance predicates per (billboard,
+    point) pair, so chunked builds are bit-identical to one-shot builds no
+    matter where the chunk boundaries fall.
+    """
+    num_local = len(chunk)
+    margin = (
+        _max_sample_gap(chunk.points, chunk.point_counts) / 2.0
+        if exact_segments
+        else 0.0
+    )
+    grid = GridIndex(chunk.points, cell_size=lambda_m)
+    point_owner = np.repeat(
+        np.arange(num_local, dtype=np.int64), chunk.point_counts
+    )
+    billboard_ids, point_ids = grid.join_radius(locations, lambda_m + margin)
+    # Deduplicate (billboard, trajectory) pairs in one pass: the sorted
+    # unique composite keys split into per-billboard sorted id arrays.
+    keys = np.unique(billboard_ids * num_local + point_owner[point_ids])
+    owners = keys // num_local
+    covered_ids = keys % num_local
+    split_at = np.searchsorted(owners, np.arange(1, num_billboards))
+    covered = [np.ascontiguousarray(ids) for ids in np.split(covered_ids, split_at)]
+    if exact_segments:
+        for billboard_id, candidates in enumerate(covered):
+            if not len(candidates):
+                continue
+            location = locations[billboard_id]
+            covered[billboard_id] = np.array(
+                [
+                    t
+                    for t in candidates
+                    if min_distance_to_polyline(location, chunk.points_of(int(t)))
+                    <= lambda_m
+                ],
+                dtype=np.int64,
+            )
+    return covered
+
+
+def _streamed_coverage(
+    locations: np.ndarray,
+    chunks: Iterable,
+    num_billboards: int,
+    lambda_m: float,
+    exact_segments: bool,
+) -> tuple[list[np.ndarray], int]:
+    """Accumulate per-billboard covered ids over a chunk stream.
+
+    Chunks carry consecutive trajectory-id ranges in order, so appending
+    each chunk's (sorted, base-offset) ids keeps every billboard's array
+    sorted without a final re-sort.  Returns the coverage lists and the
+    total trajectory count.
+    """
+    parts: list[list[np.ndarray]] = [[] for _ in range(num_billboards)]
+    base = 0
+    for raw_chunk in chunks:
+        chunk = _as_corpus_chunk(raw_chunk)
+        if len(chunk) == 0:
+            continue
+        covered_local = _join_chunk(
+            locations, chunk, num_billboards, lambda_m, exact_segments
+        )
+        for billboard_id, ids in enumerate(covered_local):
+            if len(ids):
+                parts[billboard_id].append(ids + base)
+        base += len(chunk)
+        obs.counter_add("coverage.chunks")
+    covered = [
+        np.concatenate(p) if p else np.empty(0, dtype=np.int64) for p in parts
+    ]
+    return covered, base
+
+
+def _iter_db_chunks(
+    trajectories: TrajectoryDB, chunk_size: int
+) -> Iterator[_CorpusChunk]:
+    """Slice an in-memory corpus into consecutive-id chunks (views, no copy)."""
+    points = trajectories.all_points
+    counts = trajectories.point_counts
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    for start in range(0, len(counts), chunk_size):
+        stop = min(start + chunk_size, len(counts))
+        yield _CorpusChunk(points[offsets[start] : offsets[stop]], counts[start:stop])
 
 
 class CoverageIndex:
@@ -116,6 +288,15 @@ class CoverageIndex:
         Memory budget for the packed-bitmap kernel; ``None`` reads
         ``REPRO_BITMAP_BUDGET_MB`` (default 512).  A non-positive budget
         disables the bitmap entirely.
+    bitmap_storage:
+        Storage mode for the packed bitmap (``auto`` / ``ram`` / ``memmap``
+        / ``none``); ``None`` reads ``REPRO_BITMAP_STORAGE`` (default
+        ``auto``).  See :mod:`repro.billboard.bitmap_store`.
+    chunk_size:
+        Stream the radius join in chunks of this many trajectories so peak
+        build memory is O(chunk); ``None`` reads ``REPRO_COVERAGE_CHUNK_SIZE``
+        (unset = single-shot).  Chunked builds are bit-identical to
+        single-shot builds.
 
     Notes
     -----
@@ -131,23 +312,27 @@ class CoverageIndex:
         lambda_m: float = 100.0,
         exact_segments: bool = False,
         bitmap_budget_mb: float | None = None,
+        bitmap_storage: str | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         if lambda_m <= 0:
             raise ValueError(f"lambda_m must be positive, got {lambda_m}")
         self.lambda_m = float(lambda_m)
         self.num_billboards = len(billboards)
         self.num_trajectories = len(trajectories)
-        self._init_caches(bitmap_budget_mb)
+        self._init_caches(bitmap_budget_mb, bitmap_storage)
 
-        # Billboard-centric radius join: index all trajectory points once,
-        # then one batched cell-bucket join for the whole inventory (no
-        # per-billboard Python loop — see GridIndex.join_radius).
+        # Billboard-centric radius join: index the trajectory points (all at
+        # once, or chunk by chunk), then one batched cell-bucket join per
+        # chunk for the whole inventory (no per-billboard Python loop — see
+        # GridIndex.join_radius and _join_chunk).
         #
         # ``exact_segments`` upgrades the meet test from the paper's sampled
         # p(o, t) (some recorded point within λ) to the trajectory's actual
         # polyline coming within λ — the grid query is widened by half the
         # largest sample gap so no segment-only meet can be missed, then the
         # candidates are confirmed against the exact segment distance.
+        chunk = _resolve_chunk_size(chunk_size)
         with obs.span(
             "coverage.build",
             billboards=self.num_billboards,
@@ -155,49 +340,32 @@ class CoverageIndex:
             lambda_m=self.lambda_m,
             exact_segments=exact_segments,
         ):
-            margin = _max_sample_gap(trajectories) / 2.0 if exact_segments else 0.0
-            grid = GridIndex(trajectories.all_points, cell_size=lambda_m)
-            point_owner = np.repeat(
-                np.arange(len(trajectories), dtype=np.int64), trajectories.point_counts
-            )
-            billboard_ids, point_ids = grid.join_radius(
-                billboards.locations, lambda_m + margin
-            )
-            # Deduplicate (billboard, trajectory) pairs in one pass: the sorted
-            # unique composite keys split into per-billboard sorted id arrays.
-            keys = np.unique(
-                billboard_ids * self.num_trajectories + point_owner[point_ids]
-            )
-            owners = keys // self.num_trajectories
-            covered_ids = keys % self.num_trajectories
-            split_at = np.searchsorted(owners, np.arange(1, self.num_billboards))
-            covered = [
-                np.ascontiguousarray(ids) for ids in np.split(covered_ids, split_at)
-            ]
-            if exact_segments:
-                locations = billboards.locations
-                for billboard_id, candidates in enumerate(covered):
-                    if not len(candidates):
-                        continue
-                    location = locations[billboard_id]
-                    covered[billboard_id] = np.array(
-                        [
-                            t
-                            for t in candidates
-                            if min_distance_to_polyline(
-                                location, trajectories.points_of(int(t))
-                            )
-                            <= lambda_m
-                        ],
-                        dtype=np.int64,
-                    )
+            if chunk is None:
+                covered = _join_chunk(
+                    billboards.locations,
+                    _as_corpus_chunk(trajectories),
+                    self.num_billboards,
+                    self.lambda_m,
+                    exact_segments,
+                )
+            else:
+                covered, _ = _streamed_coverage(
+                    billboards.locations,
+                    _iter_db_chunks(trajectories, chunk),
+                    self.num_billboards,
+                    self.lambda_m,
+                    exact_segments,
+                )
             self._covered = covered
             self._individual = np.array([len(ids) for ids in covered], dtype=np.int64)
             obs.counter_add("coverage.builds")
 
-    def _init_caches(self, bitmap_budget_mb: float | None) -> None:
+    def _init_caches(
+        self, bitmap_budget_mb: float | None, bitmap_storage: str | None = None
+    ) -> None:
         self._bitmap_budget_mb = _resolve_bitmap_budget_mb(bitmap_budget_mb)
-        self._bitmap: np.ndarray | None = None
+        self._bitmap_storage = bitmap_store.resolve_storage(bitmap_storage)
+        self._store: BitmapStore | None = None
         self._bitmap_decided = False
         self._batch_prefers_bitmap: bool | None = None
         self._flat_cache: tuple[np.ndarray, np.ndarray] | None = None
@@ -208,12 +376,72 @@ class CoverageIndex:
         self._scratch: np.ndarray | None = None
 
     @classmethod
+    def from_trajectory_chunks(
+        cls,
+        billboards: BillboardDB,
+        chunks: Iterable,
+        num_trajectories: int | None = None,
+        lambda_m: float = 100.0,
+        exact_segments: bool = False,
+        bitmap_budget_mb: float | None = None,
+        bitmap_storage: str | None = None,
+    ) -> "CoverageIndex":
+        """Build coverage from a *generator* of trajectory chunks.
+
+        Each chunk may be a :class:`~repro.trajectory.model.TrajectoryDB`,
+        anything exposing ``all_points`` / ``point_counts``, or a plain
+        ``(points, point_counts)`` pair; chunks must carry consecutive
+        trajectory-id ranges in corpus order.  The full corpus never needs to
+        exist in memory — peak build memory is one chunk plus the coverage
+        arrays themselves.  Bit-identical to the single-shot constructor.
+
+        ``num_trajectories`` may be passed when the corpus size is known up
+        front (e.g. to reserve id space past the streamed chunks); it
+        defaults to the total chunk length.
+        """
+        index = cls.__new__(cls)
+        index.lambda_m = float(lambda_m)
+        if lambda_m <= 0:
+            raise ValueError(f"lambda_m must be positive, got {lambda_m}")
+        index.num_billboards = len(billboards)
+        index._init_caches(bitmap_budget_mb, bitmap_storage)
+        with obs.span(
+            "coverage.build",
+            billboards=index.num_billboards,
+            lambda_m=index.lambda_m,
+            exact_segments=exact_segments,
+            streaming=True,
+        ):
+            covered, total = _streamed_coverage(
+                billboards.locations,
+                chunks,
+                index.num_billboards,
+                index.lambda_m,
+                exact_segments,
+            )
+            if num_trajectories is None:
+                num_trajectories = total
+            elif int(num_trajectories) < total:
+                raise ValueError(
+                    f"chunks supplied {total} trajectories but num_trajectories="
+                    f"{num_trajectories}"
+                )
+            index.num_trajectories = int(num_trajectories)
+            index._covered = covered
+            index._individual = np.array(
+                [len(ids) for ids in covered], dtype=np.int64
+            )
+            obs.counter_add("coverage.builds")
+        return index
+
+    @classmethod
     def from_coverage_lists(
         cls,
         covered: Sequence[Sequence[int]],
         num_trajectories: int,
         lambda_m: float = 100.0,
         bitmap_budget_mb: float | None = None,
+        bitmap_storage: str | None = None,
     ) -> "CoverageIndex":
         """Build an index directly from coverage lists (no geometry).
 
@@ -225,7 +453,7 @@ class CoverageIndex:
         index.lambda_m = float(lambda_m)
         index.num_billboards = len(covered)
         index.num_trajectories = int(num_trajectories)
-        index._init_caches(bitmap_budget_mb)
+        index._init_caches(bitmap_budget_mb, bitmap_storage)
         arrays = []
         for billboard_id, ids in enumerate(covered):
             array = np.unique(np.asarray(list(ids), dtype=np.int64))
@@ -247,6 +475,7 @@ class CoverageIndex:
         num_trajectories: int,
         lambda_m: float = 100.0,
         bitmap_budget_mb: float | None = None,
+        bitmap_storage: str | None = None,
     ) -> "CoverageIndex":
         """Rebuild an index from its CSR serialization (see :meth:`to_arrays`).
 
@@ -259,7 +488,7 @@ class CoverageIndex:
         index.lambda_m = float(lambda_m)
         index.num_billboards = len(offsets) - 1
         index.num_trajectories = int(num_trajectories)
-        index._init_caches(bitmap_budget_mb)
+        index._init_caches(bitmap_budget_mb, bitmap_storage)
         index._covered = list(np.split(flat_ids, offsets[1:-1]))
         index._individual = np.diff(offsets)
         index._flat_cache = (flat_ids, offsets)
@@ -305,9 +534,20 @@ class CoverageIndex:
         handles = [flat_shm, offsets_shm]
         index._bitmap_decided = True
         if spec.bitmap is not None:
-            bitmap, bitmap_shm = attach_array(spec.bitmap)
-            index._bitmap = bitmap
-            handles.append(bitmap_shm)
+            bm = spec.bitmap
+            if bm.tier == "memmap":
+                index._store = BitmapStore.memmap_attach(
+                    bm.paths, bm.rows_per_shard, bm.num_rows, bm.words
+                )
+            else:
+                shards = []
+                for shard_spec in bm.shards:
+                    shard, shard_shm = attach_array(shard_spec)
+                    shards.append(shard)
+                    handles.append(shard_shm)
+                index._store = BitmapStore.from_shards(
+                    shards, bm.rows_per_shard, bm.num_rows, bm.words, "shm"
+                )
         # Keep the SharedMemory objects alive as long as the index: the numpy
         # views borrow their buffers.
         index._shm_handles = handles
@@ -354,40 +594,112 @@ class CoverageIndex:
         """Whether the packed-bitmap kernel is available (builds it lazily)."""
         return self._ensure_bitmap() is not None
 
-    def _ensure_bitmap(self) -> np.ndarray | None:
+    @property
+    def bitmap_tier(self) -> str | None:
+        """Storage tier of the bitmap (``ram``/``shm``/``memmap``), or None.
+
+        Forces the (lazy, once-per-index) bitmap decision.
+        """
+        store = self._ensure_bitmap()
+        return store.tier if store is not None else None
+
+    def _ensure_bitmap(self) -> BitmapStore | None:
+        """The bitmap store, deciding tier and building it on first call.
+
+        The decision is made exactly once per index:
+
+        * ``none`` storage or a non-positive budget disables the bitmap
+          silently (a deliberate configuration, not a surprise);
+        * ``ram`` / ``auto`` within budget build the in-RAM store;
+        * past the budget, ``auto`` spills to memmap shards when a spill
+          directory is configured and ``memmap`` always does (under a private
+          temp dir when none is configured); the spill warns once, naming the
+          tier and the budget that triggered it;
+        * ``auto`` past the budget with nowhere to spill — and ``ram`` past
+          the budget — skip the bitmap with a warn-once naming the id-array
+          fallback, exactly as before this tier existed.
+        """
         if not self._bitmap_decided:
             self._bitmap_decided = True
+            storage = self._bitmap_storage
             budget_bytes = self._bitmap_budget_mb * 1024 * 1024
-            if self._bitmap_budget_mb > 0 and self.bitmap_bytes() <= budget_bytes:
-                with obs.span(
-                    "coverage.bitmap_build", bytes=self.bitmap_bytes()
-                ):
-                    self._bitmap = self._build_bitmap()
-                obs.counter_add("influence.bitmap.builds")
-                obs.gauge_set("influence.bitmap.bytes", self.bitmap_bytes())
-            elif self._bitmap_budget_mb > 0:
+            needed = self.bitmap_bytes()
+            if storage == "none" or self._bitmap_budget_mb <= 0:
+                pass  # deliberate disable: silent
+            elif needed <= budget_bytes and storage != "memmap":
+                self._store = self._build_store("ram", None)
+            elif storage == "memmap" or (
+                storage == "auto"
+                and (spill_dir := bitmap_store.resolve_spill_dir()) is not None
+            ):
+                if storage == "memmap":
+                    spill_dir = bitmap_store.resolve_spill_dir()
+                if storage == "auto":
+                    # Spilling past the budget is a behavior change worth one
+                    # warning per index; an explicit memmap request is not.
+                    obs.get_logger("repro.billboard.influence").warning(
+                        "bitmap spilled to memmap tier: %.1f MB needed > "
+                        "%s=%.1f MB budget (%d billboards x %d words); "
+                        "shards under %s",
+                        needed / (1024 * 1024),
+                        BITMAP_BUDGET_ENV,
+                        self._bitmap_budget_mb,
+                        self.num_billboards,
+                        self.bitmap_words,
+                        spill_dir,
+                    )
+                self._store = self._build_store("memmap", spill_dir)
+                obs.counter_add("influence.bitmap.spilled")
+            else:
                 # The decision is made exactly once per index, so this warning
                 # fires exactly once per index that exceeds the budget.
                 obs.get_logger("repro.billboard.influence").warning(
                     "bitmap kernel skipped: %.1f MB needed > %s=%.1f MB budget "
-                    "(%d billboards x %d words); falling back to id arrays",
-                    self.bitmap_bytes() / (1024 * 1024),
+                    "(%d billboards x %d words); falling back to the id-array "
+                    "tier (set %s or %s to spill to memmap shards instead)",
+                    needed / (1024 * 1024),
                     BITMAP_BUDGET_ENV,
                     self._bitmap_budget_mb,
                     self.num_billboards,
                     self.bitmap_words,
+                    bitmap_store.SPILL_DIR_ENV,
+                    bitmap_store.STORAGE_ENV + "=memmap",
                 )
                 obs.counter_add("influence.bitmap.skipped")
-        return self._bitmap
+        return self._store
 
-    def _build_bitmap(self) -> np.ndarray:
-        words = self.bitmap_words
-        bitmap = np.zeros((self.num_billboards, words), dtype=bitset.WORD_DTYPE)
+    def _build_store(self, tier: str, spill_dir) -> BitmapStore:
+        """Build the packed bitmap into the chosen storage tier."""
+        with obs.span(
+            "coverage.bitmap_build", bytes=self.bitmap_bytes(), tier=tier
+        ):
+            if tier == "ram":
+                bitmap = np.zeros(
+                    (self.num_billboards, self.bitmap_words),
+                    dtype=bitset.WORD_DTYPE,
+                )
+                store = BitmapStore.ram(bitmap)
+            else:
+                store = BitmapStore.memmap_create(
+                    self.num_billboards, self.bitmap_words, spill_dir
+                )
+            for start, block in self._packed_row_blocks():
+                store.set_rows(start, block)
+            store.seal()
+        obs.counter_add("influence.bitmap.builds")
+        obs.gauge_set("influence.bitmap.bytes", self.bitmap_bytes())
+        return store
+
+    def _packed_row_blocks(self) -> Iterator[tuple[int, np.ndarray]]:
+        """``(row_start, packed_rows)`` blocks with bounded staging memory.
+
+        Dense boolean rows are staged in chunks of at most ``_PACK_CHUNK_BYTES``
+        and packed chunk by chunk, so packing memory stays bounded regardless
+        of corpus size.
+        """
         if self.num_trajectories == 0 or self.num_billboards == 0:
-            return bitmap
+            return
         flat, offsets = self._flat_coverage()
-        # Stage dense boolean rows in chunks and pack each chunk, keeping the
-        # staging block bounded regardless of corpus size.
         rows_per_chunk = max(1, _PACK_CHUNK_BYTES // max(self.num_trajectories, 1))
         for start in range(0, self.num_billboards, rows_per_chunk):
             stop = min(start + rows_per_chunk, self.num_billboards)
@@ -395,15 +707,14 @@ class CoverageIndex:
             dense = np.zeros((stop - start, self.num_trajectories), dtype=bool)
             row_ids = np.repeat(np.arange(stop - start), counts)
             dense[row_ids, flat[offsets[start] : offsets[stop]]] = True
-            bitmap[start:stop] = bitset.pack_bits(dense)
-        return bitmap
+            yield start, bitset.pack_bits(dense)
 
     def bits_of(self, billboard_id: int) -> np.ndarray | None:
         """Packed coverage row of one billboard, or ``None`` without bitmap."""
-        bitmap = self._ensure_bitmap()
-        if bitmap is None:
+        store = self._ensure_bitmap()
+        if store is None:
             return None
-        return bitmap[billboard_id]
+        return store.row(billboard_id)
 
     @property
     def batch_prefers_bitmap(self) -> bool:
@@ -436,6 +747,23 @@ class CoverageIndex:
 
     # ------------------------------------------------------------ batch passes
 
+    def _dispatch_bitmap(self) -> None:
+        """Count one bitmap dispatch plus its storage tier and kernel."""
+        obs.counter_add("influence.dispatch.bitmap")
+        store = self._store
+        obs.counter_add(f"influence.tier.{store.tier if store else 'ram'}")
+        obs.counter_add(
+            "influence.kernel.numba"
+            if popcount_jit.enabled()
+            else "influence.kernel.numpy"
+        )
+
+    @staticmethod
+    def _dispatch_idarray() -> None:
+        """Count one id-array dispatch (the tier that is always available)."""
+        obs.counter_add("influence.dispatch.idarray")
+        obs.counter_add("influence.tier.idarray")
+
     def _scratch_rows(self, rows: int, words: int) -> np.ndarray:
         """A ``(rows, words)`` view of the reusable restricted-pass block."""
         block = self._scratch
@@ -453,9 +781,8 @@ class CoverageIndex:
         """``popcount(bitmap[c] & mask)`` per candidate row, via the scratch
         block — no ``(num_billboards, words)`` temporary is ever built."""
         scratch = self._scratch_rows(len(candidate_ids), self.bitmap_words)
-        np.take(self._bitmap, candidate_ids, axis=0, out=scratch)
-        np.bitwise_and(scratch, mask_words, out=scratch)
-        return bitset.popcount_inplace(scratch).sum(axis=1).astype(np.int64)
+        self._store.gather(candidate_ids, scratch)
+        return bitmap_store.block_masked_popcounts(scratch, mask_words)
 
     def _gather_restricted(
         self, candidate_ids: np.ndarray
@@ -507,11 +834,11 @@ class CoverageIndex:
         ``candidate_ids[i]``) — bit-identical to slicing the full pass.
         """
         if self.batch_prefers_bitmap:
-            bitmap = self._ensure_bitmap()
-            if bitmap is not None:
+            store = self._ensure_bitmap()
+            if store is not None:
                 if free_bits is None:
                     free_bits = bitset.pack_bits(counts_row == 0)
-                obs.counter_add("influence.dispatch.bitmap")
+                self._dispatch_bitmap()
                 if candidate_ids is not None:
                     candidate_ids = self._as_candidates(candidate_ids)
                     obs.histogram_observe(
@@ -519,8 +846,8 @@ class CoverageIndex:
                     )
                     return self._masked_row_popcounts(candidate_ids, free_bits)
                 obs.histogram_observe("influence.popcount.rows", self.num_billboards)
-                return bitset.popcount(bitmap & free_bits).sum(axis=1).astype(np.int64)
-        obs.counter_add("influence.dispatch.idarray")
+                return store.masked_popcounts(free_bits)
+        self._dispatch_idarray()
         if candidate_ids is not None:
             candidate_ids = self._as_candidates(candidate_ids)
             obs.histogram_observe("influence.popcount.rows", len(candidate_ids))
@@ -551,14 +878,14 @@ class CoverageIndex:
         the candidate order), bit-identical to slicing the full pass.
         """
         if self.batch_prefers_bitmap:
-            bitmap = self._ensure_bitmap()
-            if bitmap is not None:
+            store = self._ensure_bitmap()
+            if store is not None:
                 if free_bits is None:
                     free_bits = bitset.pack_bits(counts_row == 0)
                 if ones_bits is None:
                     ones_bits = bitset.pack_bits(counts_row == 1)
-                released_free = free_bits | (ones_bits & bitmap[removed_billboard])
-                obs.counter_add("influence.dispatch.bitmap")
+                released_free = free_bits | (ones_bits & store.row(removed_billboard))
+                self._dispatch_bitmap()
                 if candidate_ids is not None:
                     candidate_ids = self._as_candidates(candidate_ids)
                     obs.histogram_observe(
@@ -566,10 +893,8 @@ class CoverageIndex:
                     )
                     return self._masked_row_popcounts(candidate_ids, released_free)
                 obs.histogram_observe("influence.popcount.rows", self.num_billboards)
-                return (
-                    bitset.popcount(bitmap & released_free).sum(axis=1).astype(np.int64)
-                )
-        obs.counter_add("influence.dispatch.idarray")
+                return store.masked_popcounts(released_free)
+        self._dispatch_idarray()
         removed = np.zeros(self.num_trajectories, dtype=counts_row.dtype)
         removed[self._covered[removed_billboard]] = 1
         if candidate_ids is not None:
@@ -599,11 +924,11 @@ class CoverageIndex:
         the candidate order), bit-identical to slicing the full pass.
         """
         if self.batch_prefers_bitmap:
-            bitmap = self._ensure_bitmap()
-            if bitmap is not None:
+            store = self._ensure_bitmap()
+            if store is not None:
                 if ones_bits is None:
                     ones_bits = bitset.pack_bits(counts_row == 1)
-                obs.counter_add("influence.dispatch.bitmap")
+                self._dispatch_bitmap()
                 if candidate_ids is not None:
                     candidate_ids = self._as_candidates(candidate_ids)
                     obs.histogram_observe(
@@ -611,8 +936,8 @@ class CoverageIndex:
                     )
                     return self._masked_row_popcounts(candidate_ids, ones_bits)
                 obs.histogram_observe("influence.popcount.rows", self.num_billboards)
-                return bitset.popcount(bitmap & ones_bits).sum(axis=1).astype(np.int64)
-        obs.counter_add("influence.dispatch.idarray")
+                return store.masked_popcounts(ones_bits)
+        self._dispatch_idarray()
         if candidate_ids is not None:
             candidate_ids = self._as_candidates(candidate_ids)
             obs.histogram_observe("influence.popcount.rows", len(candidate_ids))
@@ -646,28 +971,28 @@ class CoverageIndex:
             self._individual[candidate_ids].sum()
             + self._individual[removed_billboard]
         )
-        bitmap = (
+        store = (
             self._ensure_bitmap()
             if ids_cost > (len(candidate_ids) + 2) * self.bitmap_words
             else None
         )
-        if bitmap is not None:
-            obs.counter_add("influence.dispatch.bitmap")
+        if store is not None:
+            self._dispatch_bitmap()
             obs.histogram_observe(
                 "influence.popcount.rows", 2 * len(candidate_ids)
             )
-            row_removed = bitmap[removed_billboard]
+            row_removed = np.asarray(store.row(removed_billboard))
             if free_bits is None:
                 free_bits = bitset.pack_bits(counts_row == 0)
             if ones_bits is None:
                 ones_bits = bitset.pack_bits(counts_row == 1)
-            loss = bitset.popcount_total(row_removed & ones_bits)
+            loss = bitmap_store.masked_total(row_removed, ones_bits)
             freed_mask = free_bits & ~row_removed
             recovered_mask = row_removed & ones_bits
             gains = self._masked_row_popcounts(candidate_ids, freed_mask)
             gains += self._masked_row_popcounts(candidate_ids, recovered_mask)
             return gains - loss
-        obs.counter_add("influence.dispatch.idarray")
+        self._dispatch_idarray()
         obs.histogram_observe("influence.popcount.rows", len(candidate_ids))
         cov_removed = self._covered[removed_billboard]
         loss = int(np.count_nonzero(counts_row[cov_removed] == 1))
@@ -706,26 +1031,26 @@ class CoverageIndex:
         ``ones_bits`` are the packed ``c == 0`` / ``c == 1`` masks (packed on
         demand when omitted).
         """
-        bitmap = (
+        store = (
             self._ensure_bitmap()
             if self.bitmap_profitable_for(removed_billboard, added_billboard)
             else None
         )
-        if bitmap is not None:
-            obs.counter_add("influence.dispatch.bitmap")
+        if store is not None:
+            self._dispatch_bitmap()
             obs.histogram_observe("influence.popcount.rows", 2)
-            row_removed = bitmap[removed_billboard]
-            row_added = bitmap[added_billboard]
+            row_removed = np.asarray(store.row(removed_billboard))
+            row_added = np.asarray(store.row(added_billboard))
             if free_bits is None:
                 free_bits = bitset.pack_bits(counts_row == 0)
             if ones_bits is None:
                 ones_bits = bitset.pack_bits(counts_row == 1)
-            loss = bitset.popcount_total(row_removed & ones_bits)
-            gain = bitset.popcount_total(
-                row_added & free_bits & ~row_removed
-            ) + bitset.popcount_total(row_added & row_removed & ones_bits)
+            loss = bitmap_store.masked_total(row_removed, ones_bits)
+            gain = bitmap_store.masked_total(
+                row_added & ~row_removed, free_bits
+            ) + bitmap_store.masked_total(row_added & row_removed, ones_bits)
             return gain - loss
-        obs.counter_add("influence.dispatch.idarray")
+        self._dispatch_idarray()
         cov_removed = self._covered[removed_billboard]
         cov_added = self._covered[added_billboard]
         loss = int(np.count_nonzero(counts_row[cov_removed] == 1))
@@ -770,20 +1095,19 @@ class CoverageIndex:
         Uses the packed-bitmap kernel (bitwise-OR + popcount) when it fits the
         memory budget, the id-array kernel otherwise — both bit-identical.
         """
-        bitmap = self._ensure_bitmap()
-        if bitmap is None:
+        store = self._ensure_bitmap()
+        if store is None:
             return self.influence_of_set_ids(billboard_ids)
         ids = np.fromiter((int(b) for b in billboard_ids), dtype=np.int64)
-        obs.counter_add("influence.dispatch.bitmap")
+        self._dispatch_bitmap()
         obs.histogram_observe("influence.popcount.rows", len(ids))
         if len(ids) == 0:
             return 0
-        union = np.bitwise_or.reduce(bitmap[ids], axis=0)
-        return bitset.popcount_total(union)
+        return store.union_popcount(ids)
 
     def influence_of_set_ids(self, billboard_ids: Iterable[int]) -> int:
         """``I(S)`` via the sorted-id-array kernel (always available)."""
-        obs.counter_add("influence.dispatch.idarray")
+        self._dispatch_idarray()
         arrays = [self._covered[int(b)] for b in billboard_ids]
         arrays = [a for a in arrays if len(a)]
         if not arrays:
@@ -833,3 +1157,45 @@ class CoverageIndex:
             covered = self.influence_of_set(order[:k]) if k else 0
             results.append(covered / self.num_trajectories)
         return np.array(results)
+
+
+def build_coverage(
+    billboards: BillboardDB,
+    trajectories,
+    lambda_m: float = 100.0,
+    *,
+    exact_segments: bool = False,
+    bitmap_budget_mb: float | None = None,
+    bitmap_storage: str | None = None,
+    chunk_size: int | None = None,
+    num_trajectories: int | None = None,
+) -> CoverageIndex:
+    """Build a :class:`CoverageIndex`, streaming the join when asked.
+
+    ``trajectories`` is either an in-memory corpus (a
+    :class:`~repro.trajectory.model.TrajectoryDB`), which ``chunk_size``
+    optionally streams through the join in bounded pieces, or an *iterable of
+    chunks* (see :meth:`CoverageIndex.from_trajectory_chunks`), in which case
+    the corpus never has to exist in memory at once and ``chunk_size`` is
+    ignored — the iterable's own chunking is used.  All paths are
+    bit-identical.
+    """
+    if hasattr(trajectories, "all_points"):
+        return CoverageIndex(
+            billboards,
+            trajectories,
+            lambda_m=lambda_m,
+            exact_segments=exact_segments,
+            bitmap_budget_mb=bitmap_budget_mb,
+            bitmap_storage=bitmap_storage,
+            chunk_size=chunk_size,
+        )
+    return CoverageIndex.from_trajectory_chunks(
+        billboards,
+        trajectories,
+        num_trajectories=num_trajectories,
+        lambda_m=lambda_m,
+        exact_segments=exact_segments,
+        bitmap_budget_mb=bitmap_budget_mb,
+        bitmap_storage=bitmap_storage,
+    )

@@ -15,6 +15,7 @@ import os
 import sys
 
 from repro import obs
+from repro.billboard import bitmap_store, influence
 from repro.datasets import example1_instance, example1_strategy1, example1_strategy2, generate_city
 from repro.experiments.configs import (
     ALPHA_VALUES,
@@ -82,9 +83,35 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print a human-readable metrics summary after the run",
     )
+    parser.add_argument(
+        "--bitmap-storage",
+        choices=bitmap_store.STORAGE_MODES,
+        default=None,
+        help="packed-bitmap storage tier (auto = ram within budget, memmap "
+        f"spill past it); sets ${bitmap_store.STORAGE_ENV}",
+    )
+    parser.add_argument(
+        "--coverage-chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the coverage build N trajectories at a time (peak build "
+        f"memory O(N)); sets ${influence.CHUNK_SIZE_ENV}",
+    )
+
+
+def _apply_coverage_knobs(args: argparse.Namespace) -> None:
+    """Export the coverage knobs as environment so every build sees them."""
+    if getattr(args, "bitmap_storage", None) is not None:
+        os.environ[bitmap_store.STORAGE_ENV] = args.bitmap_storage
+    if getattr(args, "coverage_chunk_size", None) is not None:
+        if args.coverage_chunk_size <= 0:
+            raise SystemExit("--coverage-chunk-size must be positive")
+        os.environ[influence.CHUNK_SIZE_ENV] = str(args.coverage_chunk_size)
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
+    _apply_coverage_knobs(args)
     scale = BENCH_SCALE[args.dataset]
     return Scenario(
         dataset=args.dataset,

@@ -9,6 +9,12 @@ Cities are saved as a directory of two CSV files:
 
 The format is deliberately plain so saved cities can be inspected or fed to
 other tooling; full-scale corpora stay compact enough (tens of MB).
+
+For corpora too large to materialize, :func:`iter_trajectory_chunks` streams
+``trajectories.csv`` back as bounded ``(points, point_counts)`` chunks that
+feed straight into
+:meth:`~repro.billboard.influence.CoverageIndex.from_trajectory_chunks`, so
+coverage can be built from disk with O(chunk) peak memory.
 """
 
 from __future__ import annotations
@@ -62,6 +68,50 @@ def save_city(city: CityDataset, directory: str | Path) -> Path:
                     ]
                 )
     return directory
+
+
+def iter_trajectory_chunks(directory: str | Path, chunk_size: int):
+    """Stream a saved city's trajectories as ``(points, point_counts)`` chunks.
+
+    Yields at most ``chunk_size`` trajectories per chunk, reading
+    ``trajectories.csv`` row by row — the corpus is never materialized.
+    Trajectory ids must be dense and ordered (the layout :func:`save_city`
+    writes), so chunks carry consecutive id ranges and feed
+    ``CoverageIndex.from_trajectory_chunks`` directly.
+    """
+    directory = Path(directory)
+    chunk_size = int(chunk_size)
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    points: list[tuple[float, float]] = []
+    counts: list[int] = []
+    current_id: int | None = None
+    expected_id = 0
+    with open(directory / TRAJECTORY_FILE, newline="") as handle:
+        for row in csv.DictReader(handle):
+            trajectory_id = int(row["trajectory_id"])
+            if trajectory_id != current_id:
+                if trajectory_id != expected_id:
+                    raise ValueError(
+                        "trajectory ids must be dense and ordered; expected "
+                        f"{expected_id}, got {trajectory_id}"
+                    )
+                if len(counts) == chunk_size:
+                    yield (
+                        np.array(points, dtype=np.float64),
+                        np.array(counts, dtype=np.int64),
+                    )
+                    points, counts = [], []
+                current_id = trajectory_id
+                expected_id += 1
+                counts.append(0)
+            counts[-1] += 1
+            points.append((float(row["x"]), float(row["y"])))
+    if counts:
+        yield (
+            np.array(points, dtype=np.float64),
+            np.array(counts, dtype=np.int64),
+        )
 
 
 def load_city(directory: str | Path, name: str | None = None) -> CityDataset:

@@ -1,0 +1,204 @@
+"""Storage tiers of the packed-bitmap kernel: selection, identity, cleanup.
+
+The memmap-shard tier must be bit-identical to the in-RAM tier on every
+batch kernel (full and candidate-restricted), the tier decision must follow
+the budget/storage configuration exactly once per index, and spilled shard
+files must not outlive their store.
+"""
+
+import gc
+import logging
+
+import numpy as np
+import pytest
+
+from repro.billboard import bitmap_store
+from repro.billboard.influence import CoverageIndex
+from repro.utils.rng import as_generator
+
+NUM_TRAJECTORIES = 500
+NUM_BILLBOARDS = 12
+
+
+def base_csr(seed: int = 5):
+    rng = as_generator(seed)
+    lists = [
+        np.sort(
+            rng.choice(
+                NUM_TRAJECTORIES,
+                size=int(rng.integers(0, NUM_TRAJECTORIES // 2)),
+                replace=False,
+            )
+        )
+        for _ in range(NUM_BILLBOARDS)
+    ]
+    index = CoverageIndex.from_coverage_lists(
+        [ids.tolist() for ids in lists], NUM_TRAJECTORIES
+    )
+    return index.to_arrays()
+
+
+def make_index(storage: str, budget_mb: float = 64.0) -> CoverageIndex:
+    flat, offsets = base_csr()
+    index = CoverageIndex.from_flat_arrays(
+        flat,
+        offsets,
+        NUM_TRAJECTORIES,
+        bitmap_budget_mb=budget_mb,
+        bitmap_storage=storage,
+    )
+    index._batch_prefers_bitmap = True  # measure the bitmap kernels
+    return index
+
+
+def consistent_counts(index: CoverageIndex, owned) -> np.ndarray:
+    counts = np.zeros(index.num_trajectories, dtype=np.int64)
+    for billboard_id in owned:
+        counts[index.covered_by(int(billboard_id))] += 1
+    return counts
+
+
+class TestMemmapEqualsRam:
+    """The four batch kernels agree across tiers, full and restricted."""
+
+    @pytest.fixture()
+    def pair(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(bitmap_store.SPILL_DIR_ENV, str(tmp_path))
+        ram = make_index("ram")
+        memmap = make_index("memmap")
+        assert ram.bitmap_tier == "ram"
+        assert memmap.bitmap_tier == "memmap"
+        return ram, memmap
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_batch_kernels(self, pair, seed):
+        ram, memmap = pair
+        rng = as_generator(seed)
+        owned = rng.choice(NUM_BILLBOARDS, size=4, replace=False)
+        counts = consistent_counts(ram, owned)
+        removed = int(owned[0])
+        candidates = np.sort(rng.choice(NUM_BILLBOARDS, size=6, replace=False))
+
+        for kwargs in ({}, {"candidate_ids": candidates}):
+            assert np.array_equal(
+                ram.batch_add_gains(counts, **kwargs),
+                memmap.batch_add_gains(counts, **kwargs),
+            )
+            assert np.array_equal(
+                ram.batch_add_gains_without(counts, removed, **kwargs),
+                memmap.batch_add_gains_without(counts, removed, **kwargs),
+            )
+            assert np.array_equal(
+                ram.batch_remove_losses(counts, **kwargs),
+                memmap.batch_remove_losses(counts, **kwargs),
+            )
+        assert np.array_equal(
+            ram.batch_swap_deltas(removed, candidates, counts),
+            memmap.batch_swap_deltas(removed, candidates, counts),
+        )
+
+    def test_union_and_rows(self, pair):
+        ram, memmap = pair
+        ids = list(range(0, NUM_BILLBOARDS, 2))
+        assert ram.influence_of_set(ids) == memmap.influence_of_set(ids)
+        for billboard_id in range(NUM_BILLBOARDS):
+            assert np.array_equal(
+                np.asarray(ram.bits_of(billboard_id)),
+                np.asarray(memmap.bits_of(billboard_id)),
+            )
+
+
+class TestTierSelection:
+    def test_ram_within_budget(self):
+        assert make_index("ram").bitmap_tier == "ram"
+        assert make_index("auto").bitmap_tier == "ram"
+
+    def test_explicit_memmap_is_silent_even_without_spill_dir(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.delenv(bitmap_store.SPILL_DIR_ENV, raising=False)
+        monkeypatch.delenv("REPRO_COVERAGE_CACHE", raising=False)
+        with caplog.at_level(logging.WARNING, logger="repro.billboard.influence"):
+            index = make_index("memmap")
+            assert index.bitmap_tier == "memmap"
+        assert caplog.records == []
+
+    def test_auto_spills_past_budget_with_dir(self, monkeypatch, tmp_path, caplog):
+        monkeypatch.setenv(bitmap_store.SPILL_DIR_ENV, str(tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.billboard.influence"):
+            index = make_index("auto", budget_mb=1e-9)
+            assert index.bitmap_tier == "memmap"
+        spills = [
+            record
+            for record in caplog.records
+            if "bitmap spilled to memmap tier" in record.getMessage()
+        ]
+        assert len(spills) == 1
+        message = spills[0].getMessage()
+        # The warn names the chosen tier and the budget that triggered it.
+        assert "memmap" in message
+        assert "REPRO_BITMAP_BUDGET_MB" in message
+
+    def test_auto_skips_past_budget_without_dir(self, monkeypatch, caplog):
+        monkeypatch.delenv(bitmap_store.SPILL_DIR_ENV, raising=False)
+        monkeypatch.delenv("REPRO_COVERAGE_CACHE", raising=False)
+        with caplog.at_level(logging.WARNING, logger="repro.billboard.influence"):
+            index = make_index("auto", budget_mb=1e-9)
+            assert index.bitmap_tier is None
+        skips = [
+            record
+            for record in caplog.records
+            if "bitmap kernel skipped" in record.getMessage()
+        ]
+        assert len(skips) == 1
+        # The warn names the budget, the id-array fallback, and the spill knobs.
+        message = skips[0].getMessage()
+        assert "REPRO_BITMAP_BUDGET_MB" in message
+        assert "id-array" in message
+        assert bitmap_store.SPILL_DIR_ENV in message
+
+    def test_none_storage_disables_silently(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.billboard.influence"):
+            index = make_index("none")
+            assert index.bitmap_tier is None
+        assert caplog.records == []
+
+    def test_storage_env_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(bitmap_store.SPILL_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(bitmap_store.STORAGE_ENV, "memmap")
+        flat, offsets = base_csr()
+        index = CoverageIndex.from_flat_arrays(
+            flat, offsets, NUM_TRAJECTORIES, bitmap_budget_mb=64.0
+        )
+        assert index.bitmap_tier == "memmap"
+
+    def test_invalid_storage_rejected(self):
+        with pytest.raises(ValueError, match="storage"):
+            make_index("floppy")
+
+
+class TestShardLifecycle:
+    def test_spilled_shards_cleaned_up_on_gc(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(bitmap_store.SPILL_DIR_ENV, str(tmp_path))
+        index = make_index("memmap")
+        index._ensure_bitmap()
+        shard_files = list(tmp_path.rglob("*.u64"))
+        assert shard_files  # shards exist while the store is alive
+        del index
+        gc.collect()
+        assert all(not path.exists() for path in shard_files)
+
+    def test_shared_export_attach_memmap_tier(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(bitmap_store.SPILL_DIR_ENV, str(tmp_path))
+        index = make_index("memmap")
+        ids = list(range(0, NUM_BILLBOARDS, 3))
+        with index.to_shared() as shared:
+            spec = shared.spec
+            assert spec.bitmap is not None
+            assert spec.bitmap.tier == "memmap"
+            assert spec.bitmap.paths  # shipped as paths, not shm segments
+            attached = CoverageIndex.attach_shared(spec)
+            assert attached.bitmap_tier == "memmap"
+            assert attached.influence_of_set(ids) == index.influence_of_set(ids)
+        # The attacher never deletes the owner's shard files.
+        assert index.influence_of_set(ids) == index.influence_of_set_ids(ids)

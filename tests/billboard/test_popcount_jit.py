@@ -1,0 +1,134 @@
+"""The optional numba popcount path: opt-in, fallback, and bit-identity.
+
+numba is not a dependency — most of this file runs without it, pinning the
+env-var opt-in, the graceful degradation to numpy, and (crucially) the SWAR
+formula the jitted kernels use via its pure-numpy reference.  The jit
+equality tests run only where numba is importable (the CI with-numba leg).
+"""
+
+import importlib.util
+import logging
+
+import numpy as np
+import pytest
+
+from repro.billboard import bitmap_store, popcount_jit
+from repro.utils.rng import as_generator
+
+HAS_NUMBA = importlib.util.find_spec("numba") is not None
+
+
+@pytest.fixture(autouse=True)
+def fresh_resolution(monkeypatch):
+    """Each test resolves the kernels from its own environment."""
+    monkeypatch.delenv(popcount_jit.NUMBA_ENV, raising=False)
+    popcount_jit.reset()
+    yield
+    popcount_jit.reset()
+
+
+class TestOptIn:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv(popcount_jit.NUMBA_ENV, value)
+        assert popcount_jit.requested() is True
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "2"])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv(popcount_jit.NUMBA_ENV, value)
+        assert popcount_jit.requested() is False
+
+    def test_unset_is_off(self):
+        assert popcount_jit.requested() is False
+        assert popcount_jit.get_kernels() is None
+        assert popcount_jit.enabled() is False
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="needs a numba-less host")
+    def test_requested_but_missing_falls_back(self, monkeypatch, caplog):
+        monkeypatch.setenv(popcount_jit.NUMBA_ENV, "1")
+        with caplog.at_level(
+            logging.WARNING, logger="repro.billboard.popcount_jit"
+        ):
+            assert popcount_jit.get_kernels() is None
+            assert popcount_jit.get_kernels() is None  # resolved once
+        assert popcount_jit.enabled() is False
+        warnings = [
+            record
+            for record in caplog.records
+            if "numba is not importable" in record.getMessage()
+        ]
+        assert len(warnings) == 1
+
+
+class TestSwarReference:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bitwise_count(self, seed):
+        rng = as_generator(seed)
+        words = rng.integers(0, 2**64, size=256, dtype=np.uint64)
+        expected = np.bitwise_count(words).astype(np.int64)
+        assert np.array_equal(popcount_jit.swar_popcount_reference(words), expected)
+
+    def test_edge_words(self):
+        words = np.array([0, 1, 2**63, 2**64 - 1, 0x5555555555555555], dtype=np.uint64)
+        assert popcount_jit.swar_popcount_reference(words).tolist() == [
+            0,
+            1,
+            1,
+            64,
+            32,
+        ]
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+class TestJitKernels:
+    @pytest.fixture()
+    def kernels(self, monkeypatch):
+        monkeypatch.setenv(popcount_jit.NUMBA_ENV, "1")
+        popcount_jit.reset()
+        kernels = popcount_jit.get_kernels()
+        assert kernels is not None
+        return kernels
+
+    def test_masked_rows(self, kernels):
+        rng = as_generator(0)
+        block = rng.integers(0, 2**64, size=(20, 9), dtype=np.uint64)
+        mask = rng.integers(0, 2**64, size=9, dtype=np.uint64)
+        expected = np.bitwise_count(block & mask).sum(axis=1).astype(np.int64)
+        assert np.array_equal(kernels.masked_rows(block, mask), expected)
+
+    def test_union_popcount(self, kernels):
+        rng = as_generator(1)
+        block = rng.integers(0, 2**64, size=(7, 5), dtype=np.uint64)
+        union = np.zeros(5, dtype=np.uint64)
+        total = kernels.union_popcount(block, union)
+        expected_union = np.bitwise_or.reduce(block, axis=0)
+        assert np.array_equal(union, expected_union)
+        assert total == int(np.bitwise_count(expected_union).sum())
+
+    def test_masked_total(self, kernels):
+        rng = as_generator(2)
+        row = rng.integers(0, 2**64, size=33, dtype=np.uint64)
+        mask = rng.integers(0, 2**64, size=33, dtype=np.uint64)
+        assert kernels.masked_total(row, mask) == int(
+            np.bitwise_count(row & mask).sum()
+        )
+
+    def test_store_helpers_agree_with_numpy(self, monkeypatch):
+        """block_masked_popcounts / masked_total dispatch to the jit path and
+        must match the pure-numpy result bit for bit."""
+        rng = as_generator(3)
+        block = rng.integers(0, 2**64, size=(16, 4), dtype=np.uint64)
+        mask = rng.integers(0, 2**64, size=4, dtype=np.uint64)
+
+        monkeypatch.setenv(popcount_jit.NUMBA_ENV, "1")
+        popcount_jit.reset()
+        jit_rows = bitmap_store.block_masked_popcounts(block.copy(), mask)
+        jit_total = bitmap_store.masked_total(block[0].copy(), mask)
+
+        monkeypatch.delenv(popcount_jit.NUMBA_ENV)
+        popcount_jit.reset()
+        numpy_rows = bitmap_store.block_masked_popcounts(block.copy(), mask)
+        numpy_total = bitmap_store.masked_total(block[0].copy(), mask)
+
+        assert np.array_equal(jit_rows, numpy_rows)
+        assert jit_total == numpy_total

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.datasets.io import load_city, save_city
+from repro.billboard.influence import CoverageIndex
+from repro.datasets.io import iter_trajectory_chunks, load_city, save_city
 from repro.datasets.nyc import generate_nyc
 
 
@@ -51,6 +52,47 @@ def test_labels_round_trip(tmp_path):
     city = generate_sg(n_billboards=40, n_trajectories=10, seed=1)
     loaded = load_city(save_city(city, tmp_path / "sg"))
     assert loaded.billboards[0].label == city.billboards[0].label
+
+
+@pytest.mark.parametrize("chunk_size", [1, 7, 30, 40])
+def test_iter_trajectory_chunks_round_trip(tmp_path, chunk_size):
+    """Streamed chunks reassemble the saved corpus exactly, and feed the
+    streaming coverage build bit-identically to the in-memory load."""
+    city = generate_nyc(n_billboards=10, n_trajectories=30, seed=6)
+    directory = save_city(city, tmp_path / "streamed")
+    loaded = load_city(directory)
+
+    chunks = list(iter_trajectory_chunks(directory, chunk_size))
+    assert all(len(counts) <= chunk_size for _, counts in chunks)
+    assert np.array_equal(
+        np.concatenate([counts for _, counts in chunks]),
+        loaded.trajectories.point_counts,
+    )
+    assert np.allclose(
+        np.concatenate([points for points, _ in chunks]),
+        loaded.trajectories.all_points,
+        atol=1e-3,
+    )
+
+    streamed = CoverageIndex.from_trajectory_chunks(
+        loaded.billboards, iter_trajectory_chunks(directory, chunk_size)
+    )
+    single = CoverageIndex(loaded.billboards, loaded.trajectories)
+    for billboard_id in range(len(loaded.billboards)):
+        assert np.array_equal(
+            streamed.covered_by(billboard_id), single.covered_by(billboard_id)
+        )
+
+
+def test_iter_trajectory_chunks_rejects_scrambled_ids(tmp_path):
+    city = generate_nyc(n_billboards=5, n_trajectories=5, seed=0)
+    directory = save_city(city, tmp_path / "bad_stream")
+    trajectory_file = directory / "trajectories.csv"
+    lines = trajectory_file.read_text().splitlines()
+    header, rows = lines[0], lines[1:]
+    trajectory_file.write_text("\n".join([header] + rows[::-1]) + "\n")
+    with pytest.raises(ValueError, match="dense"):
+        list(iter_trajectory_chunks(directory, 2))
 
 
 def test_load_rejects_scrambled_ids(tmp_path):

@@ -119,7 +119,9 @@ class TestBenchSmoke:
             capture_output=True,
             timeout=600,
         )
-        report = json.loads(output.read_text())
+        history = json.loads(output.read_text())
+        assert history["schema"] == "bench-history-v1"
+        report = history["runs"][-1]
         assert report["smoke"] is True
         for section in ("build", "influence_of_set", "bls_cell"):
             assert report[section]["speedup"] > 0.0
@@ -145,7 +147,9 @@ class TestBenchSmoke:
             capture_output=True,
             timeout=600,
         )
-        report = json.loads(output.read_text())
+        history = json.loads(output.read_text())
+        assert history["schema"] == "bench-history-v1"
+        report = history["runs"][-1]
         assert report["smoke"] is True
         engines = report["bls_local_search"]
         assert engines["dirty"]["total_regret"] == engines["full"]["total_regret"]
