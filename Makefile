@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-scale bench-scale-smoke lint obs-demo
+.PHONY: test bench-smoke bench bench-scale bench-scale-smoke lint obs-demo trace-smoke
 
 ## Tier-1 test suite (also runs the benchmark script's smoke mode, see
 ## tests/experiments/test_parallel_harness.py).
@@ -58,3 +58,17 @@ obs-demo:
 		--parameter lambda_m --methods g-global,bls --restarts 1 --workers 2 \
 		--obs-out $(OBS_DEMO_DIR)/run.jsonl --obs-summary
 	@echo "run log: $(OBS_DEMO_DIR)/run.jsonl"
+
+## Tracing + ledger end-to-end: the solver bench in smoke mode with a Chrome
+## trace and a run ledger, the trace schema-validated (clock-aligned,
+## >=2 worker pids), and the bottleneck report rendered from both artifacts.
+TRACE_DIR ?= /tmp/mroam-trace-smoke
+trace-smoke:
+	mkdir -p $(TRACE_DIR)
+	$(PYTHON) scripts/bench_solvers.py --smoke \
+		--output $(TRACE_DIR)/BENCH_solvers_trace.json \
+		--trace-out $(TRACE_DIR)/trace.json \
+		--ledger $(TRACE_DIR)/ledger.jsonl
+	$(PYTHON) scripts/obs_report.py --validate $(TRACE_DIR)/trace.json
+	$(PYTHON) scripts/obs_report.py $(TRACE_DIR)/ledger.jsonl
+	@echo "trace: $(TRACE_DIR)/trace.json"

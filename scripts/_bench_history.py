@@ -89,15 +89,19 @@ def timing_metrics(report: dict, prefix: str = "") -> dict[str, float]:
     return metrics
 
 
-def best_baselines(history: dict, key: str) -> dict[str, float]:
-    """Best (minimum) recorded value per timing metric for one scenario key."""
-    best: dict[str, float] = {}
+def best_baselines(history: dict, key: str) -> dict[str, tuple[float, str]]:
+    """Best (minimum) recorded ``(value, commit)`` per timing metric for one
+    scenario key.  The commit is the ``commit`` stamp of the run that set the
+    best value (``"unknown"`` when the run carries none), so gate failures
+    can name the exact commit to bisect against."""
+    best: dict[str, tuple[float, str]] = {}
     for run in history.get("runs", []):
         if scenario_key(run) != key:
             continue
+        commit = str(run.get("commit", "unknown"))
         for metric, value in timing_metrics(run).items():
-            if value > 0 and (metric not in best or value < best[metric]):
-                best[metric] = value
+            if value > 0 and (metric not in best or value < best[metric][0]):
+                best[metric] = (value, commit)
     return best
 
 
@@ -109,15 +113,21 @@ def gate_regression(
     ``history`` should hold the *prior* runs (gate before appending, or
     accept that the new run is its own >=1.0x baseline and can never fail).
     An empty list means the gate passes; no baseline for the scenario key
-    passes trivially.
+    passes trivially.  Each failure names the commit that set the best value
+    and the regression as a percentage over it.
     """
     baselines = best_baselines(history, scenario_key(report))
     failures = []
     for metric, value in timing_metrics(report).items():
-        best = baselines.get(metric)
-        if best is not None and value > best * threshold:
+        baseline = baselines.get(metric)
+        if baseline is None:
+            continue
+        best, commit = baseline
+        if value > best * threshold:
             failures.append(
-                f"{metric}: {value:.4f}s is {value / best:.2f}x the best "
-                f"recorded {best:.4f}s (threshold {threshold:.2f}x)"
+                f"{metric}: {value:.4f}s is {value / best:.2f}x "
+                f"(+{(value / best - 1.0) * 100:.1f}%) the best recorded "
+                f"{best:.4f}s from commit {commit} "
+                f"(threshold {threshold:.2f}x)"
             )
     return failures

@@ -46,6 +46,7 @@ from repro.billboard.influence import BITMAP_BUDGET_ENV, CoverageIndex
 from repro.billboard.model import BillboardDB
 from repro.experiments.harness import run_cell
 from repro.market.scenario import Scenario
+from repro.obs import ledger
 from repro.spatial.grid import GridIndex
 from repro.trajectory.model import TrajectoryDB
 from repro.utils.rng import as_generator
@@ -56,16 +57,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 def git_commit() -> str:
     """Hash of the commit that produced this report (``unknown`` outside git).
 
-    A ``-dirty`` suffix marks reports produced from an uncommitted tree.
+    A ``-dirty`` suffix marks reports produced from an uncommitted tree; the
+    head hash itself comes from the shared :mod:`repro.obs.ledger` helper so
+    every artifact (bench history, run ledger, trace) stamps the same id.
     """
+    head = ledger.git_commit()
+    if head == "unknown":
+        return head
     try:
-        head = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            check=True,
-            cwd=REPO_ROOT,
-        ).stdout.strip()
         dirty = subprocess.run(
             ["git", "status", "--porcelain"],
             capture_output=True,
@@ -75,7 +74,7 @@ def git_commit() -> str:
         ).stdout.strip()
         return f"{head}-dirty" if dirty else head
     except Exception:
-        return "unknown"
+        return head
 
 
 def legacy_covered_lists(

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -60,6 +61,8 @@ from repro.algorithms.local_search import RandomizedLocalSearch
 from repro.core.allocation import Allocation
 from repro.core.problem import MROAMInstance
 from repro.market.scenario import Scenario
+from repro.obs import ledger
+from repro.parallel.pool import OVERSUBSCRIBE_ENV, close_all_pools
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -67,16 +70,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 def git_commit() -> str:
     """Hash of the commit that produced this report (``unknown`` outside git).
 
-    A ``-dirty`` suffix marks reports produced from an uncommitted tree.
+    A ``-dirty`` suffix marks reports produced from an uncommitted tree; the
+    head hash itself comes from the shared :mod:`repro.obs.ledger` helper.
     """
+    head = ledger.git_commit()
+    if head == "unknown":
+        return head
     try:
-        head = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            check=True,
-            cwd=REPO_ROOT,
-        ).stdout.strip()
         dirty = subprocess.run(
             ["git", "status", "--porcelain"],
             capture_output=True,
@@ -86,7 +86,7 @@ def git_commit() -> str:
         ).stdout.strip()
         return f"{head}-dirty" if dirty else head
     except Exception:
-        return "unknown"
+        return head
 
 
 def bench_sweep_engines(instance: MROAMInstance, repeats: int = 3) -> dict:
@@ -267,6 +267,29 @@ def bench_parallel_restarts(
     }
 
 
+def traced_engine_passes(instance: MROAMInstance) -> None:
+    """One fully-instrumented BLS pass per engine, for the trace artifact.
+
+    Runs with collection *and* tracing on (outside the timed sections): each
+    pass contributes per-sweep ``bls.sweep`` phase events, and the kernel
+    dispatch counter deltas of the pass are stamped as a ``kernel.dispatch``
+    instant event so the report can attribute kernel choice per engine.
+    """
+    attributed = ("influence.dispatch.", "influence.kernel.", "influence.tier.")
+    for engine in SWEEP_ENGINES:
+        before = dict(obs.get_registry().counters)
+        allocation = Allocation(instance)
+        synchronous_greedy(allocation)
+        billboard_driven_local_search(allocation, engine=engine)
+        after = obs.get_registry().counters
+        delta = {
+            name: after[name] - before.get(name, 0)
+            for name in after
+            if name.startswith(attributed) and after[name] != before.get(name, 0)
+        }
+        obs.emit_instant("kernel.dispatch", {"engine": engine, **delta})
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -274,6 +297,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--output", default="BENCH_solvers.json")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a clock-aligned Chrome trace of the whole bench (worker "
+        "pids included) to this JSON file; implies pool oversubscription so "
+        f"multi-worker traces exist even on 1-CPU runners; ${obs.TRACE_ENV} "
+        "is the default",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append per-section outcome records to this JSONL ledger; "
+        f"${obs.LEDGER_ENV} is the default",
+    )
     parser.add_argument(
         "--assert-parallel-speedup",
         type=float,
@@ -299,6 +338,16 @@ def main(argv: list[str] | None = None) -> int:
         f"the same scenario (default X={_bench_history.DEFAULT_THRESHOLD})",
     )
     args = parser.parse_args(argv)
+
+    if args.ledger is not None:
+        os.environ[obs.LEDGER_ENV] = args.ledger
+    trace_out = args.trace_out or os.environ.get(obs.TRACE_ENV)
+    if trace_out is not None:
+        # Attribution needs real worker processes even on 1-CPU runners; the
+        # oversubscription knob lifts the affinity cap for this (non-timing)
+        # run.  Must be exported before the first pool spawns.
+        os.environ.setdefault(OVERSUBSCRIBE_ENV, "1")
+        obs.trace_enable(out=trace_out)
 
     if args.smoke:
         scenario = Scenario(
@@ -339,6 +388,47 @@ def main(argv: list[str] | None = None) -> int:
     history = _bench_history.append_run(path, report)
     print(json.dumps(report, indent=2))
     print(f"\nappended run {len(history['runs'])} to {path}")
+
+    if ledger.enabled():
+        timing_keys = {
+            "full": "full_engine_s",
+            "dirty-full-scan": "dirty_full_scan_engine_s",
+            "dirty": "dirty_engine_s",
+        }
+        for engine in SWEEP_ENGINES:
+            ledger.record_run(
+                "bench.sweep",
+                instance=instance,
+                engine=engine,
+                wall_s=float(sweep_engines[timing_keys[engine]]),
+                regret=float(sweep_engines["total_regret"]),
+                smoke=bool(args.smoke),
+            )
+        ledger.record_run(
+            "bench.restarts",
+            instance=instance,
+            engine="dirty",
+            workers=int(parallel["workers"]),
+            restarts=int(parallel["restarts"]),
+            serial_s=float(parallel["serial_s"]),
+            wall_s=float(parallel["parallel_s"]),
+            speedup=float(parallel["speedup"]),
+            regret=float(parallel["total_regret"]),
+            smoke=bool(args.smoke),
+        )
+        print(f"appended ledger records to {ledger.ledger_path()}")
+
+    if obs.trace_enabled():
+        # Per-engine instrumented passes for the trace artifact, then retire
+        # the pools so every worker's teardown spill is on disk before the
+        # trace is assembled.
+        obs.enable()
+        traced_engine_passes(instance)
+        close_all_pools()
+        trace_path = obs.write_trace()
+        print(f"wrote Chrome trace to {trace_path}")
+        obs.trace_disable()
+        obs.disable()
 
     if args.gate_regression is not None:
         failures = _bench_history.gate_regression(prior, report, args.gate_regression)

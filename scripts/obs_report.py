@@ -1,0 +1,65 @@
+"""Bottleneck report over an observability artifact.
+
+Accepts any of the three artifact kinds the repo's tooling writes and
+prints the matching human-readable report:
+
+* a **Chrome trace** (``--trace-out`` / ``REPRO_OBS_TRACE``) — restart-bench
+  time attribution (spawn / export / attach / warm-up / compute / reduce),
+  per-engine BLS sweep-phase breakdowns, kernel-dispatch tables, and
+  peak-RSS per process;
+* a **run ledger** (``--ledger`` / ``REPRO_OBS_LEDGER``) — per-kind outcome
+  summaries with instance features;
+* an **obs run log** (``--obs-out`` JSONL) — span / counter / histogram
+  tables.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_solvers.py --smoke --trace-out t.json
+    python scripts/obs_report.py t.json
+    python scripts/obs_report.py --validate t.json
+
+Equivalent to ``repro obs report`` for environments where the package is on
+the path; this wrapper bootstraps ``src`` itself so it runs from a bare
+checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("path", help="trace JSON, ledger JSONL, or obs run log")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="check Chrome-trace schema conformance (clock alignment, "
+        "required fields) and exit non-zero on problems",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        import json
+
+        with open(args.path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        problems = obs.validate_chrome_trace(data)
+        if problems:
+            print(f"{args.path}: {len(problems)} schema problem(s)")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"{args.path}: valid Chrome trace")
+    print(obs.render_report(args.path))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ the identical exchange sequence.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.algorithms.sweep import PairSweepState
 from repro.core.allocation import Allocation
 from repro.core.moves import delta_exchange_sets
@@ -117,6 +118,7 @@ def advertiser_driven_local_search(
     """
     if engine not in SWEEP_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {SWEEP_ENGINES}")
-    if engine == "full":
-        return _full_engine(allocation, min_improvement, stats)
-    return _dirty_engine(allocation, min_improvement, stats)
+    with obs.span("als.search", engine=engine):
+        if engine == "full":
+            return _full_engine(allocation, min_improvement, stats)
+        return _dirty_engine(allocation, min_improvement, stats)

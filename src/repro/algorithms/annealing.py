@@ -21,6 +21,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import Solver
 from repro.algorithms.greedy_global import SynchronousGreedy
 from repro.core.allocation import UNASSIGNED, Allocation
@@ -73,6 +74,21 @@ def anneal_chain(
     and in the solver's own process.
     """
     rng = as_generator(rng)
+    chain_span = obs.span("anneal.chain", steps=int(steps))
+    chain_span.__enter__()
+    try:
+        return _anneal_chain_body(instance, steps, initial_temperature, cooling, rng)
+    finally:
+        chain_span.__exit__(None, None, None)
+
+
+def _anneal_chain_body(
+    instance: MROAMInstance,
+    steps: int,
+    initial_temperature: float | None,
+    cooling: float,
+    rng,
+) -> dict:
     allocation = SynchronousGreedy().solve(instance).allocation
     current_regret = allocation.total_regret()
     best = allocation.clone()

@@ -41,9 +41,12 @@ Two sweep engines drive the move families:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import obs
+from repro.obs import trace as _trace
 from repro.algorithms._marginal import _regret_values_unchecked
 from repro.algorithms.greedy_global import synchronous_greedy
 from repro.algorithms.sweep import BillboardSweepState
@@ -496,6 +499,44 @@ def _all_exchange_candidates(
     return np.nonzero(mask)[0]
 
 
+def _emit_sweep_phases(
+    engine: str,
+    started: float,
+    screen_s: float,
+    exchange_s: float,
+    release_s: float,
+    topup_s: float,
+    verify: bool,
+) -> None:
+    """Record one sweep's phase split (histograms + a ``bls.sweep`` trace event).
+
+    Only called when collection or tracing is on — the engines sample the
+    clock per phase boundary, not per move, so the instrumented sweep costs a
+    handful of ``perf_counter`` reads.
+    """
+    duration_s = time.perf_counter() - started
+    obs.histogram_observe("bls.phase.screen", screen_s)
+    obs.histogram_observe("bls.phase.exchange", exchange_s)
+    obs.histogram_observe("bls.phase.release", release_s)
+    obs.histogram_observe("bls.phase.topup", topup_s)
+    if verify:
+        obs.histogram_observe("bls.phase.verify", duration_s)
+    _trace.emit_complete(
+        "bls.sweep",
+        started,
+        duration_s,
+        cat="bls",
+        args={
+            "engine": engine,
+            "screen_s": screen_s,
+            "exchange_s": exchange_s,
+            "release_s": release_s,
+            "topup_s": topup_s,
+            "verify": verify,
+        },
+    )
+
+
 def _emit_stats(stats: dict, sweeps, exchanges, releases, topups, counters) -> None:
     stats["bls_sweeps"] = stats.get("bls_sweeps", 0) + sweeps
     stats["bls_exchanges"] = stats.get("bls_exchanges", 0) + exchanges
@@ -529,6 +570,8 @@ def _full_engine(
     while True:
         sweeps += 1
         improved = False
+        track = obs.enabled() or obs.trace_enabled()
+        sweep_start = time.perf_counter() if track else 0.0
 
         # Move families 1 & 2: pairwise and assigned↔free exchanges.
         for advertiser_id in range(instance.num_advertisers):
@@ -542,6 +585,7 @@ def _full_engine(
                     allocation.exchange_billboards(billboard_id, partner)
                     exchanges += 1
                     improved = True
+        exchange_end = time.perf_counter() if track else 0.0
 
         # Move family 3: releases.
         for advertiser_id in range(instance.num_advertisers):
@@ -553,6 +597,7 @@ def _full_engine(
                     allocation.release(billboard_id)
                     releases += 1
                     improved = True
+        release_end = time.perf_counter() if track else 0.0
 
         # Move family 4: greedy top-up of the unassigned pool (line 5.11),
         # adopted only if it strictly improves (lines 5.12-5.13).
@@ -564,6 +609,16 @@ def _full_engine(
                 topups += 1
                 improved = True
 
+        if track:
+            _emit_sweep_phases(
+                "full",
+                sweep_start,
+                0.0,
+                exchange_end - sweep_start,
+                release_end - exchange_end,
+                time.perf_counter() - release_end,
+                verify=False,
+            )
         if not improved or (max_sweeps is not None and sweeps >= max_sweeps):
             break
 
@@ -604,10 +659,15 @@ def _dirty_engine(
     skipped = 0
     counters: dict = {}
     verifying = False
+    engine_name = "dirty" if restrict_scans else "dirty-full-scan"
 
     while True:
         sweeps += 1
         improved = False
+        verify_sweep = verifying
+        track = obs.enabled() or obs.trace_enabled()
+        sweep_start = time.perf_counter() if track else 0.0
+        screen_s = 0.0
 
         # Move families 1 & 2: pairwise and assigned↔free exchanges.  The
         # restricted engine screens an advertiser's whole surviving pass in
@@ -625,6 +685,7 @@ def _dirty_engine(
                 owners = allocation.owners
                 if restrict_scans:
                     if verdicts is None:
+                        screen_begin = time.perf_counter() if track else 0.0
                         remaining = [
                             candidate
                             for candidate in billboard_list[position:]
@@ -651,9 +712,12 @@ def _dirty_engine(
                             min_improvement,
                         )
                         verdicts = dict(zip(remaining, flags.tolist()))
+                        if track:
+                            screen_s += time.perf_counter() - screen_begin
                     screen_ids = screen_sets[billboard_id]
                     survived = verdicts[billboard_id]
                 else:
+                    screen_begin = time.perf_counter() if track else 0.0
                     if verifying or state.own_side_stale(advertiser_id, billboard_id):
                         screen_ids = _all_exchange_candidates(
                             owners, advertiser_id, billboard_id
@@ -669,6 +733,8 @@ def _dirty_engine(
                         screen_ids,
                         min_improvement,
                     )
+                    if track:
+                        screen_s += time.perf_counter() - screen_begin
                 if not survived:
                     skipped += 1
                     state.certify_scan(billboard_id)
@@ -700,6 +766,7 @@ def _dirty_engine(
                 exchanges += 1
                 improved = True
                 verdicts = None  # the move invalidates the batched verdicts
+        exchange_end = time.perf_counter() if track else 0.0
 
         # Move family 3: releases.  An advertiser's pass depends only on its
         # own set, so it is skipped while its certificate holds.
@@ -735,6 +802,7 @@ def _dirty_engine(
                     improved = True
             if not accepted_any:
                 state.certify_release_pass(advertiser_id)
+        release_end = time.perf_counter() if track else 0.0
 
         # Move family 4: greedy top-up.  The greedy is deterministic in the
         # allocation, so it is re-run whenever the pool is non-empty (exactly
@@ -757,6 +825,16 @@ def _dirty_engine(
                 topups += 1
                 improved = True
 
+        if track:
+            _emit_sweep_phases(
+                engine_name,
+                sweep_start,
+                screen_s,
+                exchange_end - sweep_start - screen_s,
+                release_end - exchange_end,
+                time.perf_counter() - release_end,
+                verify=verify_sweep,
+            )
         if max_sweeps is not None and sweeps >= max_sweeps:
             break
         if improved:
@@ -807,12 +885,13 @@ def billboard_driven_local_search(
     """
     if engine not in SWEEP_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {SWEEP_ENGINES}")
-    if engine == "full":
-        return _full_engine(allocation, min_improvement, max_sweeps, stats)
-    return _dirty_engine(
-        allocation,
-        min_improvement,
-        max_sweeps,
-        stats,
-        restrict_scans=(engine == "dirty"),
-    )
+    with obs.span("bls.search", engine=engine):
+        if engine == "full":
+            return _full_engine(allocation, min_improvement, max_sweeps, stats)
+        return _dirty_engine(
+            allocation,
+            min_improvement,
+            max_sweeps,
+            stats,
+            restrict_scans=(engine == "dirty"),
+        )

@@ -25,6 +25,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.als import advertiser_driven_local_search
 from repro.algorithms.bls import billboard_driven_local_search
 from repro.algorithms.greedy_global import synchronous_greedy
@@ -191,14 +192,15 @@ class RandomizedLocalSearch(Solver):
             engine=self.engine,
             workers=self.restart_workers,
         )
-        for restart, outcome in enumerate(outcomes):
-            before = dict(stats)
-            self._merge_stats(stats, outcome["stats"])
-            if outcome["total_regret"] < best_regret:
-                best = allocation_from_owners(instance, outcome["owners"])
-                best_regret = outcome["total_regret"]
-                stats["best_restart"] = restart
-            self._record_restart(best_regret, before, stats)
+        with obs.span("restart.reduce", restarts=len(outcomes)):
+            for restart, outcome in enumerate(outcomes):
+                before = dict(stats)
+                self._merge_stats(stats, outcome["stats"])
+                if outcome["total_regret"] < best_regret:
+                    best = allocation_from_owners(instance, outcome["owners"])
+                    best_regret = outcome["total_regret"]
+                    stats["best_restart"] = restart
+                self._record_restart(best_regret, before, stats)
         return best, best_regret
 
     def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.allocation import UNASSIGNED
 
 
@@ -55,6 +56,7 @@ class BillboardSweepState:
     def mark_move(self, advertisers=(), freed=()) -> None:
         """Record one accepted move touching ``advertisers`` / freeing ``freed``."""
         self.version += 1
+        obs.counter_add("sweep.moves")
         for advertiser_id in advertisers:
             self.advertiser_version[advertiser_id] = self.version
         for billboard_id in freed:

@@ -688,6 +688,7 @@ class CoverageIndex:
             store.seal()
         obs.counter_add("influence.bitmap.builds")
         obs.gauge_set("influence.bitmap.bytes", self.bitmap_bytes())
+        obs.gauge_set(f"bitmap.shards.{store.tier}", store.num_shards)
         return store
 
     def _packed_row_blocks(self) -> Iterator[tuple[int, np.ndarray]]:

@@ -84,6 +84,21 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         help="print a human-readable metrics summary after the run",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a clock-aligned Chrome/Perfetto trace (pid/tid spans "
+        "across worker pools) to this JSON file; "
+        f"${obs.TRACE_ENV} is the default",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append one per-run record (commit, instance features, outcome) "
+        f"to this JSONL ledger; ${obs.LEDGER_ENV} is the default",
+    )
+    parser.add_argument(
         "--bitmap-storage",
         choices=bitmap_store.STORAGE_MODES,
         default=None,
@@ -126,17 +141,36 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
 
 
 def _obs_begin(args: argparse.Namespace) -> bool:
-    """Enable observability when the flags or ``REPRO_OBS_OUT`` ask for it."""
+    """Enable observability when the flags or the environment ask for it.
+
+    ``--ledger`` exports ``REPRO_OBS_LEDGER`` so every producer (harness
+    cells, bench sections, worker processes) sees the same ledger path.
+    """
+    ledger = getattr(args, "ledger", None)
+    if ledger is not None:
+        os.environ[obs.LEDGER_ENV] = ledger
+    trace_out = getattr(args, "trace_out", None) or os.environ.get(obs.TRACE_ENV)
     out = args.obs_out or os.environ.get(obs.OBS_OUT_ENV)
-    if out is None and not args.obs_summary:
+    if trace_out is not None:
+        obs.trace_enable(out=trace_out)
+    if out is None and trace_out is None and not args.obs_summary:
         return False
     obs.enable(out=out)
     return True
 
 
 def _obs_finish(args: argparse.Namespace) -> None:
-    """Write the JSONL run log and/or print the summary, then reset obs."""
+    """Write the run log / trace, print the summary, then reset obs."""
     try:
+        from repro.parallel.pool import close_all_pools
+
+        if obs.trace_enabled():
+            # Retire the pools first so every worker's teardown spill (the
+            # events recorded after its last shipped snapshot) is on disk
+            # before the trace is assembled.
+            close_all_pools()
+            path = obs.write_trace()
+            print(f"\nwrote Chrome trace to {path}")
         path = obs.configured_out()
         if path is not None:
             obs.write_jsonl(path)
@@ -145,6 +179,7 @@ def _obs_finish(args: argparse.Namespace) -> None:
             print()
             print(obs.summary_table())
     finally:
+        obs.trace_disable()
         obs.disable()
 
 
@@ -241,6 +276,22 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    if args.validate:
+        import json
+
+        data = json.loads(open(args.path).read())
+        problems = obs.validate_chrome_trace(data)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: valid Chrome trace "
+              f"({len(data.get('traceEvents', []))} events)")
+    print(obs.render_report(args.path))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mroam",
@@ -274,6 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--trajectories", type=int, default=None)
     figure.add_argument("--csv", default=None, help="also export the sweep to this CSV path")
     figure.set_defaults(func=_cmd_figure)
+
+    obs_parser = sub.add_parser("obs", help="observability artifacts")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report",
+        help="bottleneck report over a trace JSON, run-log JSONL, or ledger",
+    )
+    report.add_argument("path", help="trace/run-log/ledger file to analyze")
+    report.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check a Chrome trace first; exit 1 on violations",
+    )
+    report.set_defaults(func=_cmd_obs_report)
     return parser
 
 

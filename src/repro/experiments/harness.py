@@ -29,6 +29,7 @@ from typing import Sequence
 
 from repro import obs
 from repro.algorithms.registry import PAPER_METHODS, make_solver
+from repro.obs import ledger
 from repro.core.problem import MROAMInstance
 from repro.datasets.synthetic import CityDataset
 from repro.experiments.configs import BENCH_RESTARTS
@@ -100,6 +101,17 @@ def _run_method(
                 )
                 runtimes.append(repeat_solver.solve(instance).runtime_s)
             metrics = replace(metrics, runtime_s=sum(runtimes) / len(runtimes))
+    if ledger.enabled():
+        ledger.record_run(
+            "harness.cell",
+            instance=instance,
+            method=method,
+            restarts=int(restarts),
+            restart_workers=restart_workers,
+            regret=float(metrics.total_regret),
+            wall_s=float(metrics.runtime_s),
+            **(span_attrs or {}),
+        )
     return metrics
 
 
@@ -113,16 +125,20 @@ def _worker_init(
     base_lambda: float,
     obs_enabled: bool = False,
     coverage_spec=None,
+    trace_enabled: bool = False,
 ) -> None:
     from repro.parallel.pool import _freeze_worker_heap, _sync_worker_obs
 
     _WORKER_STATE["city"] = city
-    _sync_worker_obs(obs_enabled)
+    _sync_worker_obs(obs_enabled, trace_enabled)
     # With a fork start method the child inherits the parent's registry
     # contents; clear them so per-task snapshots hold only this worker's work.
     # The reset runs before the attach so the one shm.attach this worker ever
-    # performs lands in its first task snapshot.
+    # performs lands in its first task snapshot.  The inherited trace buffer
+    # belongs to the parent and is dropped the same way.
     obs.reset()
+    obs.trace_reset()
+    obs.register_worker_flush()
     if coverage_spec is not None:
         # Zero-copy: attach the parent's coverage index at the pool-creating
         # scenario's base λ instead of re-running the radius join (or
@@ -130,7 +146,8 @@ def _worker_init(
         # locally on first use and stay cached for the pool's lifetime.
         from repro.billboard.influence import CoverageIndex
 
-        attached = CoverageIndex.attach_shared(coverage_spec)
+        with obs.span("pool.attach"):
+            attached = CoverageIndex.attach_shared(coverage_spec)
         key = (float(base_lambda), False)
         _WORKER_STATE["city"]._coverage_cache[key] = attached
     _freeze_worker_heap()
@@ -148,17 +165,22 @@ def _worker_run(task: tuple) -> tuple:
         solver_seed,
         runtime_repeats,
         obs_enabled,
+        trace_enabled,
     ) = task
-    _sync_worker_obs(obs_enabled)
+    _sync_worker_obs(obs_enabled, trace_enabled)
     city: CityDataset = _WORKER_STATE["city"]
     span_attrs = {} if parameter is None else {"parameter": parameter, "value": value}
     if parameter is not None:
         scenario = scenario.with_params(**{parameter: value})
     instance = scenario.build_instance(city)
-    metrics = _run_method(
-        method, instance, restarts, solver_seed, runtime_repeats, span_attrs
-    )
-    snapshot = obs.take_snapshot(reset_after=True) if obs_enabled else None
+    with obs.span("pool.task"):
+        metrics = _run_method(
+            method, instance, restarts, solver_seed, runtime_repeats, span_attrs
+        )
+    if obs_enabled or trace_enabled:
+        snapshot = obs.take_snapshot(reset_after=True)
+    else:
+        snapshot = None
     return (value, method, metrics), snapshot
 
 
@@ -182,7 +204,13 @@ def _harness_pool(city: CityDataset, scenario: Scenario, workers: int):
         return PersistentPool(
             workers,
             initializer=_worker_init,
-            initargs=(worker_city, float(scenario.lambda_m), obs.enabled(), shared.spec),
+            initargs=(
+                worker_city,
+                float(scenario.lambda_m),
+                obs.enabled(),
+                shared.spec,
+                obs.trace_enabled(),
+            ),
             shared=shared,
         )
 
@@ -209,8 +237,9 @@ def _run_parallel(
         city = scenario.build_city()
     pool = _harness_pool(city, scenario, workers)
     obs_enabled = obs.enabled()
+    trace_enabled = obs.trace_enabled()
     results = pool.map(
-        _worker_run, [(scenario, *task, obs_enabled) for task in tasks]
+        _worker_run, [(scenario, *task, obs_enabled, trace_enabled) for task in tasks]
     )
     return {(value, method): metrics for value, method, metrics in results}
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.algorithms.bls import billboard_driven_local_search
 from repro.algorithms.greedy_global import synchronous_greedy
 from repro.algorithms.local_search import RandomizedLocalSearch
@@ -122,10 +123,15 @@ class OnlineHost:
         return allocation
 
     def quote(self, demand: int, payment: float, name: str = "") -> Quote:
-        """Price a proposal without changing the host's state."""
-        newcomer, _, allocation = self._extended(demand, payment, name)
-        before = self.total_regret()
-        repaired = self._repair(allocation, newcomer.advertiser_id)
+        """Price a proposal without changing the host's state.
+
+        Timed under the ``quote.price`` span: its histogram's p50/p95/p99
+        are the quoting-latency numbers the online-service work needs.
+        """
+        with obs.span("quote.price", demand=int(demand)):
+            newcomer, _, allocation = self._extended(demand, payment, name)
+            before = self.total_regret()
+            repaired = self._repair(allocation, newcomer.advertiser_id)
         return Quote(
             advertiser_name=name,
             demand=demand,
@@ -137,11 +143,12 @@ class OnlineHost:
 
     def accept(self, demand: int, payment: float, name: str = "") -> Quote:
         """Commit a proposal: extend the book and adopt the repaired plan."""
-        newcomer, _, allocation = self._extended(demand, payment, name)
-        before = self.total_regret()
-        repaired = self._repair(allocation, newcomer.advertiser_id)
-        self._advertisers.append(newcomer)
-        self._allocation = repaired
+        with obs.span("quote.accept", demand=int(demand)):
+            newcomer, _, allocation = self._extended(demand, payment, name)
+            before = self.total_regret()
+            repaired = self._repair(allocation, newcomer.advertiser_id)
+            self._advertisers.append(newcomer)
+            self._allocation = repaired
         return Quote(
             advertiser_name=name,
             demand=demand,

@@ -17,8 +17,17 @@ script), or programmatically via :func:`enable`.
 See ``DESIGN.md`` §8 for the metric naming scheme and merge semantics.
 """
 
+from repro.obs.ledger import (
+    LEDGER_ENV,
+    git_commit,
+    instance_features,
+    ledger_path,
+    read_ledger,
+    record_run,
+)
 from repro.obs.registry import (
     OBS_OUT_ENV,
+    SPILL_DIR_ENV,
     Histogram,
     MetricsRegistry,
     configured_out,
@@ -36,30 +45,68 @@ from repro.obs.registry import (
     reset,
     take_snapshot,
 )
+from repro.obs.report import render_report
 from repro.obs.sink import read_jsonl, summary_table, write_jsonl
 from repro.obs.spans import Span, span
+from repro.obs.trace import (
+    TRACE_ENV,
+    collect_spills,
+    emit_counter,
+    emit_instant,
+    flush_worker_spill,
+    register_worker_flush,
+    set_trace_collection,
+    take_trace,
+    trace_disable,
+    trace_enable,
+    trace_enabled,
+    trace_reset,
+    validate_chrome_trace,
+    write_trace,
+)
 
 __all__ = [
+    "LEDGER_ENV",
     "OBS_OUT_ENV",
+    "SPILL_DIR_ENV",
+    "TRACE_ENV",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "collect_spills",
     "configured_out",
     "counter_add",
     "counter_value",
     "disable",
+    "emit_counter",
+    "emit_instant",
     "enable",
     "enabled",
+    "flush_worker_spill",
     "gauge_set",
     "get_logger",
     "get_registry",
+    "git_commit",
     "histogram_observe",
+    "instance_features",
+    "ledger_path",
     "merge_snapshot",
     "read_jsonl",
+    "read_ledger",
     "record_event",
+    "record_run",
+    "register_worker_flush",
+    "render_report",
     "reset",
+    "set_trace_collection",
     "span",
     "summary_table",
     "take_snapshot",
-    "write_jsonl",
+    "take_trace",
+    "trace_disable",
+    "trace_enable",
+    "trace_enabled",
+    "trace_reset",
+    "validate_chrome_trace",
+    "write_trace",
 ]

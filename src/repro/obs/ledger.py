@@ -1,0 +1,154 @@
+"""Append-only per-run ledger: the calibration dataset for solver choice.
+
+Every harness cell and bench section can append one JSONL record keyed by
+the git commit, the *instance features* that drive solver behaviour
+(billboard/advertiser/trajectory counts, γ, demand pressure, coverage
+overlap skew), the engine/solver configuration, and the outcome telemetry
+(regret, wall time, move counts).  Records are single ``O_APPEND`` writes,
+so concurrent processes interleave whole lines and the file only ever
+grows — the adaptive solver portfolio on the ROADMAP reads it back with
+:func:`read_ledger` to learn which engine wins on which instance shape.
+
+Enable by passing ``--ledger PATH`` to the CLI / bench scripts or exporting
+``REPRO_OBS_LEDGER=PATH``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+#: Environment variable naming the ledger path; the harness and bench
+#: scripts append to it whenever it is set.
+LEDGER_ENV = "REPRO_OBS_LEDGER"
+
+#: Schema tag stamped on every record so readers can migrate old ledgers.
+SCHEMA = "obs-ledger-v1"
+
+_COMMIT: str | None = None
+
+
+def git_commit() -> str:
+    """The current git commit hash (cached; ``"unknown"`` outside a repo)."""
+    global _COMMIT
+    if _COMMIT is None:
+        try:
+            _COMMIT = (
+                subprocess.run(
+                    ["git", "rev-parse", "HEAD"],
+                    capture_output=True,
+                    text=True,
+                    timeout=10,
+                    cwd=Path(__file__).resolve().parent,
+                )
+                .stdout.strip()
+                or "unknown"
+            )
+        except (OSError, subprocess.SubprocessError):
+            _COMMIT = "unknown"
+    return _COMMIT
+
+
+def ledger_path() -> Path | None:
+    """The configured ledger path (``REPRO_OBS_LEDGER``), if any."""
+    path = os.environ.get(LEDGER_ENV)
+    return Path(path) if path else None
+
+
+def enabled() -> bool:
+    """Whether ledger appends are configured in this process."""
+    return LEDGER_ENV in os.environ and bool(os.environ[LEDGER_ENV])
+
+
+def instance_features(instance) -> dict:
+    """The instance-shape features a solver portfolio would condition on.
+
+    ``overlap`` is ``Σ_b |cover(b)| / |∪_b cover(b)|`` — how many billboards
+    reach the average reachable trajectory (1.0 = disjoint coverage, higher
+    = more contested).  ``influence_cv`` is the coefficient of variation of
+    the per-billboard influences — the skew of the inventory.
+    """
+    coverage = instance.coverage
+    features = {
+        "billboards": int(instance.num_billboards),
+        "advertisers": int(instance.num_advertisers),
+        "trajectories": int(coverage.num_trajectories),
+        "gamma": float(instance.gamma),
+        "alpha": float(instance.demand_supply_ratio),
+    }
+    try:
+        individual = coverage.individual_influences
+        total = float(coverage.total_reachable())
+        summed = float(individual.sum())
+        features["overlap"] = summed / total if total else 0.0
+        mean = float(individual.mean()) if len(individual) else 0.0
+        features["influence_cv"] = float(individual.std()) / mean if mean else 0.0
+    except Exception:  # pragma: no cover - synthetic indexes without arrays
+        pass
+    return features
+
+
+def record_run(
+    kind: str,
+    instance=None,
+    path: str | os.PathLike | None = None,
+    **payload,
+) -> Path | None:
+    """Append one ledger record; returns the path written, or None.
+
+    ``kind`` names the producer (``"harness.cell"``, ``"bench.sweep"``, …);
+    ``instance`` (optional) contributes :func:`instance_features`; every
+    other keyword lands verbatim in the record.  ``path`` overrides the
+    environment-configured ledger.  A missing path makes this a no-op so
+    call sites never need their own guard.
+    """
+    if path is None:
+        path = ledger_path()
+        if path is None:
+            return None
+    path = Path(path)
+    record = {
+        "schema": SCHEMA,
+        "kind": kind,
+        "ts": time.time(),
+        "commit": git_commit(),
+        "pid": os.getpid(),
+    }
+    if instance is not None:
+        record["instance"] = instance_features(instance)
+    record.update(payload)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, default=_jsonable) + "\n"
+    # One O_APPEND write per record: atomic line interleaving across the
+    # harness's worker processes.
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode())
+    finally:
+        os.close(fd)
+    return path
+
+
+def read_ledger(path: str | os.PathLike) -> list[dict]:
+    """Parse a ledger back into records (bad lines are skipped, not fatal)."""
+    records = []
+    with Path(path).open() as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def _jsonable(value):
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

@@ -11,22 +11,35 @@ Three metric families:
 
 * **counters** — monotonically increasing floats/ints (``counter_add``);
 * **gauges** — last-write-wins values (``gauge_set``);
-* **histograms** — ``count/total/min/max`` summaries (``histogram_observe``),
-  also fed by completed spans with their durations.
+* **histograms** — ``count/total/min/max`` summaries plus sparse log-scaled
+  bucket counts (``histogram_observe``), so merged summaries can report
+  p50/p95/p99 quantile estimates; also fed by completed spans with their
+  durations.
 
 Plus an ordered **event log**: arbitrary JSON-serializable records
 (completed spans, per-solver telemetry) that the JSONL sink writes out.
 
 Worker processes collect into their own registry and ship
 :func:`take_snapshot` dicts back to the parent, which
-:func:`merge_snapshot`-s them — counter totals and histogram summaries are
-associative, so ``workers=N`` telemetry aggregates to exactly the serial
-totals for work that is deterministic per task.
+:func:`merge_snapshot`-s them — counter totals, histogram summaries, and
+bucket counts are associative, so ``workers=N`` telemetry aggregates to
+exactly the serial totals for work that is deterministic per task.
+
+The registry also hosts the *trace* buffer consumed by
+:mod:`repro.obs.trace`: Chrome-trace-shaped span/counter events with
+pid/tid attribution and epoch-aligned microsecond timestamps.  The buffer
+lives here (not in the trace module) so snapshots carry trace events across
+process boundaries through the same merge path as metrics, but it has its
+own lifecycle — :func:`reset` and :func:`disable` leave it alone so a trace
+can span benchmark sections that toggle collection on and off; only
+:func:`repro.obs.trace.trace_disable`/``trace_reset`` drop it.
 """
 
 from __future__ import annotations
 
 import logging
+import math
+import os
 import time
 
 #: Environment variable naming the JSONL run-event output path.  Read by the
@@ -34,17 +47,38 @@ import time
 #: collection and directs :func:`repro.obs.sink.write_jsonl` output.
 OBS_OUT_ENV = "REPRO_OBS_OUT"
 
+#: Environment variable naming the directory where pool worker processes
+#: spill their final unshipped snapshot at teardown (see
+#: :func:`repro.obs.trace.flush_worker_spill`).  Exported automatically when
+#: an output path is configured, so forked workers inherit it.
+SPILL_DIR_ENV = "REPRO_OBS_SPILL_DIR"
+
+#: Histogram bucket width: 8 log-scale buckets per octave (ratio 2^(1/8) ≈
+#: 1.09), bounding quantile estimates to within ~9% of the true value.
+_BUCKET_WIDTH = math.log(2.0) / 8.0
+
+#: Bucket key for non-positive observations (JSON-safe string key).
+_ZERO_BUCKET = "z"
+
 
 class Histogram:
-    """A ``count/total/min/max`` summary of observed values."""
+    """A ``count/total/min/max`` summary plus sparse log-bucket counts.
 
-    __slots__ = ("count", "total", "min", "max")
+    Buckets are keyed by ``floor(log(value) / _BUCKET_WIDTH)`` (non-positive
+    values land in the ``"z"`` bucket), giving p50/p95/p99 estimates within
+    one bucket width (~9%) without storing observations.  Bucket counts add
+    under merge, so parallel worker summaries quantile-estimate exactly like
+    one serial registry would.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets: dict = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -54,10 +88,45 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        key = int(math.log(value) // _BUCKET_WIDTH) if value > 0.0 else _ZERO_BUCKET
+        self.buckets[key] = self.buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (ceil-rank over the bucket counts).
+
+        Returns the bucket's upper edge clamped to ``[min, max]``; exact for
+        the extremes, within one bucket width (~9%) in between.  Falls back
+        to linear count/max interpolation when bucket counts are missing
+        (summaries merged from a pre-bucket snapshot).
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = self.buckets.get(_ZERO_BUCKET, 0)
+        if cumulative >= rank:
+            return min(self.min, 0.0)
+        for key in sorted(k for k in self.buckets if k != _ZERO_BUCKET):
+            cumulative += self.buckets[key]
+            if cumulative >= rank:
+                upper = math.exp((key + 1) * _BUCKET_WIDTH)
+                return max(self.min, min(self.max, upper))
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
 
     def as_dict(self) -> dict:
         return {
@@ -65,6 +134,10 @@ class Histogram:
             "total": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": {str(key): count for key, count in self.buckets.items()},
         }
 
     def merge_dict(self, other: dict) -> None:
@@ -74,6 +147,9 @@ class Histogram:
         self.total += float(other["total"])
         self.min = min(self.min, float(other["min"]))
         self.max = max(self.max, float(other["max"]))
+        for key, count in other.get("buckets", {}).items():
+            key = key if key == _ZERO_BUCKET else int(key)
+            self.buckets[key] = self.buckets.get(key, 0) + int(count)
 
 
 class MetricsRegistry:
@@ -95,16 +171,49 @@ class MetricsRegistry:
 
 
 class _ObsState:
-    __slots__ = ("enabled", "registry", "out_path", "span_stack")
+    __slots__ = (
+        "enabled",
+        "active",
+        "registry",
+        "out_path",
+        "span_stack",
+        "trace_enabled",
+        "trace_events",
+        "trace_out",
+        "trace_last_sample",
+    )
 
     def __init__(self) -> None:
         self.enabled = False
+        # ``enabled or trace_enabled``, precomputed at the (rare) toggles so
+        # the disabled span() path stays a single attribute test.
+        self.active = False
         self.registry = MetricsRegistry()
         self.out_path: str | None = None
         self.span_stack: list[str] = []
+        # Trace buffer (see repro.obs.trace): Chrome-trace-shaped dicts with
+        # their own lifecycle — reset()/disable() leave them alone.
+        self.trace_enabled = False
+        self.trace_events: list[dict] = []
+        self.trace_out: str | None = None
+        self.trace_last_sample = 0.0
 
 
 _STATE = _ObsState()
+
+
+def _update_spill_env() -> None:
+    """Export (or clear) the worker spill directory for forked children.
+
+    The spill directory rides next to whichever output is configured — the
+    trace path wins over the run-log path — so pool workers forked while an
+    output is configured know where to flush unshipped events at teardown.
+    """
+    out = _STATE.trace_out or _STATE.out_path
+    if out is not None:
+        os.environ[SPILL_DIR_ENV] = f"{out}.spill"
+    else:
+        os.environ.pop(SPILL_DIR_ENV, None)
 
 
 # ------------------------------------------------------------- lifecycle
@@ -118,14 +227,23 @@ def enabled() -> bool:
 def enable(out: str | None = None) -> None:
     """Turn collection on; ``out`` optionally names the JSONL sink path."""
     _STATE.enabled = True
+    _STATE.active = True
     if out is not None:
         _STATE.out_path = str(out)
+        _update_spill_env()
 
 
 def disable() -> None:
-    """Turn collection off and drop all recorded state."""
+    """Turn collection off and drop all recorded metrics/events.
+
+    The trace buffer is left intact (traces deliberately span enable/disable
+    cycles, e.g. benchmark warm-up vs timed sections); drop it with
+    :func:`repro.obs.trace.trace_disable`.
+    """
     _STATE.enabled = False
+    _STATE.active = _STATE.trace_enabled
     _STATE.out_path = None
+    _update_spill_env()
     reset()
 
 
@@ -203,19 +321,23 @@ def take_snapshot(reset_after: bool = False) -> dict:
             name: histogram.as_dict() for name, histogram in registry.histograms.items()
         },
         "events": list(registry.events),
+        "trace": list(_STATE.trace_events),
     }
     if reset_after:
         reset()
+        _STATE.trace_events = []
     return snapshot
 
 
-def merge_snapshot(snapshot: dict | None) -> None:
+def merge_snapshot(snapshot: dict | None, force: bool = False) -> None:
     """Fold a :func:`take_snapshot` dict into this process's registry.
 
     Counters add, gauges last-write-wins, histogram summaries merge, events
-    append in call order.  No-op when disabled or for ``None`` snapshots.
+    and trace events append in call order.  No-op when disabled or for
+    ``None`` snapshots; ``force=True`` bypasses the enabled gate (used when
+    folding worker spill files into a run being written out).
     """
-    if not _STATE.enabled or not snapshot:
+    if (not _STATE.enabled and not _STATE.trace_enabled and not force) or not snapshot:
         return
     registry = _STATE.registry
     for name, value in snapshot.get("counters", {}).items():
@@ -224,6 +346,7 @@ def merge_snapshot(snapshot: dict | None) -> None:
     for name, summary in snapshot.get("histograms", {}).items():
         registry.histogram(name).merge_dict(summary)
     registry.events.extend(snapshot.get("events", []))
+    _STATE.trace_events.extend(snapshot.get("trace", ()))
 
 
 # --------------------------------------------------------------- logging

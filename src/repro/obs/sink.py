@@ -26,7 +26,16 @@ def _jsonable(value):
 
 
 def write_jsonl(path: str | os.PathLike) -> Path:
-    """Write all recorded events plus final metric snapshots to ``path``."""
+    """Write all recorded events plus final metric snapshots to ``path``.
+
+    Spill files left by torn-down pool workers (see
+    :func:`repro.obs.trace.collect_spills`) are folded in first, so worker
+    events recorded after their last shipped snapshot still land in the run
+    file.
+    """
+    from repro.obs import trace as _trace
+
+    _trace.collect_spills()
     registry = _registry.get_registry()
     path = Path(path)
     if path.parent != Path(""):
@@ -101,12 +110,15 @@ def summary_table() -> str:
         lines.append("-- spans --")
         width = max(len(name) for name in spans)
         lines.append(
-            f"  {'name':<{width}}  {'count':>7}  {'total_s':>10}  {'mean_s':>10}  {'max_s':>10}"
+            f"  {'name':<{width}}  {'count':>7}  {'total_s':>10}  {'mean_s':>10}"
+            f"  {'p50_s':>10}  {'p95_s':>10}  {'p99_s':>10}  {'max_s':>10}"
         )
         for name, histogram in spans.items():
             lines.append(
                 f"  {name:<{width}}  {histogram.count:>7}  {histogram.total:>10.4f}"
-                f"  {histogram.mean:>10.4f}  {histogram.max:>10.4f}"
+                f"  {histogram.mean:>10.4f}  {histogram.p50:>10.4f}"
+                f"  {histogram.p95:>10.4f}  {histogram.p99:>10.4f}"
+                f"  {histogram.max:>10.4f}"
             )
 
     others = {
@@ -118,12 +130,14 @@ def summary_table() -> str:
         lines.append("-- histograms --")
         width = max(len(name) for name in others)
         lines.append(
-            f"  {'name':<{width}}  {'count':>7}  {'mean':>12}  {'min':>12}  {'max':>12}"
+            f"  {'name':<{width}}  {'count':>7}  {'mean':>12}  {'p50':>12}"
+            f"  {'p95':>12}  {'p99':>12}  {'max':>12}"
         )
         for name, histogram in others.items():
             lines.append(
                 f"  {name:<{width}}  {histogram.count:>7}  {histogram.mean:>12.1f}"
-                f"  {histogram.min if histogram.count else 0.0:>12.1f}"
+                f"  {histogram.p50:>12.1f}  {histogram.p95:>12.1f}"
+                f"  {histogram.p99:>12.1f}"
                 f"  {histogram.max if histogram.count else 0.0:>12.1f}"
             )
 

@@ -80,11 +80,20 @@ class Span:
             if exc_type is not None:
                 event["error"] = exc_type.__name__
             _registry.record_event("span", **event)
+        if _STATE.trace_enabled:
+            from repro.obs import trace as _trace
+
+            _trace.record_span(self)
         return False
 
 
 def span(name: str, **attrs):
-    """A context manager timing one named region (no-op when disabled)."""
-    if not _STATE.enabled:
+    """A context manager timing one named region (no-op when disabled).
+
+    A live span is returned when either metric collection *or* tracing is
+    on: traces deliberately span benchmark sections that toggle metric
+    collection off, and ``Span.__exit__`` gates each output on its own flag.
+    """
+    if not _STATE.active:
         return _NULL_SPAN
     return Span(name, attrs)

@@ -43,8 +43,21 @@ from repro.billboard.influence import CoverageIndex
 from repro.core.problem import MROAMInstance
 
 
+#: Environment variable lifting the CPU-affinity cap on worker counts.
+#: Tracing runs set it so multi-pid traces exist even on 1-CPU containers;
+#: performance runs should leave it unset.
+OVERSUBSCRIBE_ENV = "REPRO_POOL_OVERSUBSCRIBE"
+
+
 def effective_workers(requested: int) -> int:
-    """``requested`` capped to the CPUs this process can be scheduled on."""
+    """``requested`` capped to the CPUs this process can be scheduled on.
+
+    Setting ``REPRO_POOL_OVERSUBSCRIBE`` (to anything non-empty) lifts the
+    cap — useful when the point of the pool is attribution rather than
+    speed, e.g. tracing worker behaviour on a single-CPU CI runner.
+    """
+    if os.environ.get(OVERSUBSCRIBE_ENV):
+        return max(1, int(requested))
     try:
         available = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
@@ -52,11 +65,13 @@ def effective_workers(requested: int) -> int:
     return max(1, min(int(requested), available))
 
 
-def _sync_worker_obs(want_enabled: bool) -> None:
-    """Match the worker's observability state to the parent's task flag.
+def _sync_worker_obs(want_enabled: bool, want_trace: bool = False) -> None:
+    """Match the worker's observability state to the parent's task flags.
 
-    Runs inside the worker.  A transition resets the registry so snapshots
-    never mix work from before and after the toggle.
+    Runs inside the worker.  An enable/disable transition resets the
+    registry so snapshots never mix work from before and after the toggle;
+    the trace flag flips collection only — pending trace events still ship
+    with the next snapshot (or the teardown spill).
     """
     if obs.enabled() != want_enabled:
         if want_enabled:
@@ -64,6 +79,8 @@ def _sync_worker_obs(want_enabled: bool) -> None:
         else:
             obs.disable()
         obs.reset()
+    if obs.trace_enabled() != want_trace:
+        obs.set_trace_collection(want_trace)
 
 
 def _freeze_worker_heap() -> None:
@@ -81,22 +98,32 @@ def _freeze_worker_heap() -> None:
 _WORKER_STATE: dict = {}
 
 
-def _instance_worker_init(coverage_spec, advertisers, gamma, obs_enabled: bool) -> None:
-    _sync_worker_obs(obs_enabled)
+def _instance_worker_init(
+    coverage_spec, advertisers, gamma, obs_enabled: bool, trace_enabled: bool = False
+) -> None:
+    _sync_worker_obs(obs_enabled, trace_enabled)
     # With a fork start method the child inherits the parent's registry
     # contents; clear them *before* attaching so the shm.attach count lands
-    # in this worker's first task snapshot.
+    # in this worker's first task snapshot.  The inherited trace buffer is
+    # dropped too — the parent already owns those events.
     obs.reset()
-    coverage = CoverageIndex.attach_shared(coverage_spec)
-    _WORKER_STATE["instance"] = MROAMInstance(coverage, list(advertisers), gamma)
+    obs.trace_reset()
+    obs.register_worker_flush()
+    with obs.span("pool.attach"):
+        coverage = CoverageIndex.attach_shared(coverage_spec)
+        _WORKER_STATE["instance"] = MROAMInstance(coverage, list(advertisers), gamma)
     _freeze_worker_heap()
 
 
 def _instance_worker_call(task: tuple) -> tuple:
-    runner, payload, obs_enabled = task
-    _sync_worker_obs(obs_enabled)
-    result = runner(_WORKER_STATE["instance"], payload)
-    snapshot = obs.take_snapshot(reset_after=True) if obs_enabled else None
+    runner, payload, obs_enabled, trace_enabled = task
+    _sync_worker_obs(obs_enabled, trace_enabled)
+    with obs.span("pool.task"):
+        result = runner(_WORKER_STATE["instance"], payload)
+    if obs_enabled or trace_enabled:
+        snapshot = obs.take_snapshot(reset_after=True)
+    else:
+        snapshot = None
     return result, snapshot
 
 
@@ -113,12 +140,14 @@ class PersistentPool:
         self.requested_workers = int(workers)
         self.workers = effective_workers(workers)
         self._shared = shared
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=initializer,
-            initargs=initargs,
-        )
+        with obs.span("pool.spawn", workers=self.workers):
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=initializer,
+                initargs=initargs,
+            )
         self._closed = False
+        self._maps = 0
         atexit.register(self.close)
 
     @property
@@ -139,11 +168,15 @@ class PersistentPool:
         tasks = list(tasks)
         if not tasks:
             return []
+        self._maps += 1
         chunksize = -(-len(tasks) // self.workers)  # ceil division
         results = []
-        for result, snapshot in self._executor.map(func, tasks, chunksize=chunksize):
-            obs.merge_snapshot(snapshot)
-            results.append(result)
+        with obs.span(
+            "pool.map", tasks=len(tasks), workers=self.workers, first=self._maps == 1
+        ):
+            for result, snapshot in self._executor.map(func, tasks, chunksize=chunksize):
+                obs.merge_snapshot(snapshot)
+                results.append(result)
         return results
 
     def close(self) -> None:
@@ -168,7 +201,8 @@ class SharedInstancePool(PersistentPool):
     """
 
     def __init__(self, instance: MROAMInstance, workers: int) -> None:
-        shared = instance.coverage.to_shared()
+        with obs.span("pool.export"):
+            shared = instance.coverage.to_shared()
         super().__init__(
             workers,
             initializer=_instance_worker_init,
@@ -177,6 +211,7 @@ class SharedInstancePool(PersistentPool):
                 list(instance.advertisers),
                 instance.gamma,
                 obs.enabled(),
+                obs.trace_enabled(),
             ),
             shared=shared,
         )
@@ -184,9 +219,10 @@ class SharedInstancePool(PersistentPool):
     def run(self, runner, payloads: list) -> list:
         """``[runner(instance, payload) for payload in payloads]``, fanned out."""
         obs_enabled = obs.enabled()
+        trace_enabled = obs.trace_enabled()
         return self.map(
             _instance_worker_call,
-            [(runner, payload, obs_enabled) for payload in payloads],
+            [(runner, payload, obs_enabled, trace_enabled) for payload in payloads],
         )
 
 

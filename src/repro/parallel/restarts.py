@@ -48,27 +48,35 @@ def _local_search_restart(instance: MROAMInstance, payload: tuple) -> dict:
     from repro.algorithms.bls import billboard_driven_local_search
     from repro.algorithms.greedy_global import synchronous_greedy
 
+    from repro import obs
+
     params, seed_ids = payload
     stats: dict = {}
     plan = Allocation(instance)
-    for advertiser_id, billboard_id in enumerate(seed_ids):
-        plan.assign(int(billboard_id), int(advertiser_id))
-    synchronous_greedy(plan, stats=stats)
-    if params["neighborhood"] == "als":
-        # ALS has no coverage scans to restrict; "dirty-full-scan" maps to
-        # "dirty" exactly as in RandomizedLocalSearch._local_search.
-        als_engine = "full" if params["engine"] == "full" else "dirty"
-        plan = advertiser_driven_local_search(
-            plan, params["min_improvement"], stats, engine=als_engine
-        )
-    else:
-        plan = billboard_driven_local_search(
-            plan,
-            params["min_improvement"],
-            params["max_sweeps"],
-            stats,
-            engine=params["engine"],
-        )
+    with obs.span("restart.greedy"):
+        for advertiser_id, billboard_id in enumerate(seed_ids):
+            plan.assign(int(billboard_id), int(advertiser_id))
+        synchronous_greedy(plan, stats=stats)
+    with obs.span(
+        "restart.local_search",
+        neighborhood=params["neighborhood"],
+        engine=params["engine"],
+    ):
+        if params["neighborhood"] == "als":
+            # ALS has no coverage scans to restrict; "dirty-full-scan" maps to
+            # "dirty" exactly as in RandomizedLocalSearch._local_search.
+            als_engine = "full" if params["engine"] == "full" else "dirty"
+            plan = advertiser_driven_local_search(
+                plan, params["min_improvement"], stats, engine=als_engine
+            )
+        else:
+            plan = billboard_driven_local_search(
+                plan,
+                params["min_improvement"],
+                params["max_sweeps"],
+                stats,
+                engine=params["engine"],
+            )
     return {
         "owners": np.asarray(plan.owners).copy(),
         "total_regret": float(plan.total_regret()),

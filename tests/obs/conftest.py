@@ -14,6 +14,8 @@ from repro import obs
 
 @pytest.fixture(autouse=True)
 def _obs_clean():
+    obs.trace_disable()
     obs.disable()
     yield
+    obs.trace_disable()
     obs.disable()

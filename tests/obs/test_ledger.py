@@ -1,0 +1,104 @@
+"""The run ledger: append-only JSONL records keyed by commit + instance shape.
+
+The ledger is the calibration dataset for the ROADMAP's adaptive solver
+portfolio: one line per (harness cell / bench section) with the instance
+features that drive solver behaviour and the outcome.  These tests pin the
+record schema, the environment gating, the append-only write path, and the
+tolerant reader.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.market.scenario import Scenario
+from repro.obs import ledger
+
+
+@pytest.fixture()
+def instance():
+    return Scenario(
+        dataset="nyc", n_billboards=30, n_trajectories=200, seed=5
+    ).build_instance()
+
+
+class TestConfiguration:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv(ledger.LEDGER_ENV, raising=False)
+        assert not ledger.enabled()
+        assert ledger.ledger_path() is None
+        assert ledger.record_run("bench.sweep") is None
+
+    def test_enabled_via_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv(ledger.LEDGER_ENV, str(path))
+        assert ledger.enabled()
+        assert ledger.ledger_path() == path
+
+    def test_git_commit_is_cached_and_real(self):
+        commit = ledger.git_commit()
+        assert commit == ledger.git_commit()
+        # The test tree is a git checkout, so the hash is a real one.
+        assert commit == "unknown" or len(commit) == 40
+
+
+class TestRecordRun:
+    def test_record_schema_and_append(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger.record_run("bench.sweep", path=path, engine="dirty", wall_s=0.5)
+        ledger.record_run("bench.sweep", path=path, engine="full", wall_s=1.5)
+        records = ledger.read_ledger(path)
+        assert [r["engine"] for r in records] == ["dirty", "full"]
+        first = records[0]
+        assert first["schema"] == ledger.SCHEMA
+        assert first["kind"] == "bench.sweep"
+        assert first["commit"] == ledger.git_commit()
+        assert first["wall_s"] == 0.5
+        assert isinstance(first["ts"], float) and isinstance(first["pid"], int)
+
+    def test_env_configured_path(self, tmp_path, monkeypatch):
+        path = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv(ledger.LEDGER_ENV, str(path))
+        assert ledger.record_run("harness.cell", method="bls") == path
+        (record,) = ledger.read_ledger(path)
+        assert record["method"] == "bls"
+
+    def test_instance_features_ride_along(self, tmp_path, instance):
+        path = tmp_path / "ledger.jsonl"
+        ledger.record_run("bench.sweep", instance=instance, path=path)
+        (record,) = ledger.read_ledger(path)
+        features = record["instance"]
+        assert features["billboards"] == instance.num_billboards
+        assert features["advertisers"] == instance.num_advertisers
+        assert features["gamma"] == instance.gamma
+        # Coverage overlaps, so the summed influences exceed the union.
+        assert features["overlap"] >= 1.0
+        assert features["influence_cv"] >= 0.0
+
+    def test_numpy_payload_is_jsonable(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "ledger.jsonl"
+        ledger.record_run("bench.sweep", path=path, regret=np.float64(2.5))
+        (record,) = ledger.read_ledger(path)
+        assert record["regret"] == 2.5
+
+
+class TestReadLedger:
+    def test_skips_corrupt_and_blank_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger.record_run("bench.sweep", path=path, engine="dirty")
+        with path.open("a") as stream:
+            stream.write("{truncated\n\n")
+        ledger.record_run("bench.sweep", path=path, engine="full")
+        records = ledger.read_ledger(path)
+        assert [r["engine"] for r in records] == ["dirty", "full"]
+        # The raw file really holds the bad line — the reader skipped it.
+        assert "{truncated" in path.read_text()
+
+    def test_records_are_valid_jsonl(self, tmp_path, instance):
+        path = tmp_path / "ledger.jsonl"
+        ledger.record_run("harness.cell", instance=instance, path=path, regret=1.0)
+        for line in path.read_text().splitlines():
+            json.loads(line)

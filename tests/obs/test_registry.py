@@ -52,8 +52,38 @@ class TestHistograms:
 
     def test_empty_histogram_as_dict(self):
         histogram = Histogram()
-        assert histogram.as_dict() == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}
+        assert histogram.as_dict() == {
+            "count": 0,
+            "total": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "buckets": {},
+        }
         assert histogram.mean == 0.0
+
+    def test_quantiles_within_bucket_tolerance(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        # One log bucket is a 2^(1/8) ≈ 1.09 ratio: estimates land within
+        # ~9% of the true order statistic, and the extremes are exact.
+        assert abs(histogram.p50 - 50.0) <= 50.0 * 0.10
+        assert abs(histogram.p95 - 95.0) <= 95.0 * 0.10
+        assert histogram.quantile(0.0) >= histogram.min
+        assert histogram.quantile(1.0) == histogram.max
+
+    def test_quantiles_handle_zero_and_single_value(self):
+        histogram = Histogram()
+        histogram.observe(0.0)
+        histogram.observe(0.0)
+        assert histogram.p50 == 0.0
+        single = Histogram()
+        single.observe(3.0)
+        assert single.p50 == 3.0
+        assert single.p99 == 3.0
 
     def test_merge_dict(self):
         target = Histogram()
@@ -63,6 +93,20 @@ class TestHistograms:
         assert target.total == 8.0
         assert target.min == 1.0
         assert target.max == 5.0
+
+    def test_merge_preserves_quantile_buckets(self):
+        left, right, serial = Histogram(), Histogram(), Histogram()
+        for value in range(1, 51):
+            left.observe(float(value))
+            serial.observe(float(value))
+        for value in range(51, 101):
+            right.observe(float(value))
+            serial.observe(float(value))
+        left.merge_dict(right.as_dict())
+        assert left.buckets == serial.buckets
+        assert left.p50 == serial.p50
+        assert left.p95 == serial.p95
+        assert left.p99 == serial.p99
 
     def test_merge_empty_is_noop(self):
         target = Histogram()
@@ -141,14 +185,14 @@ class TestSnapshotMerge:
         assert obs.counter_value("c") == 0
 
 
-def _workload_loop(instrument: bool, iterations: int = 200) -> float:
+def _workload_loop(instrument: bool, iterations: int = 100) -> float:
     """Min-of-runs time for a tight loop, optionally with disabled-obs calls."""
     best = float("inf")
-    for _ in range(7):
+    for _ in range(9):
         started = time.perf_counter()
         total = 0
         for i in range(iterations):
-            total += sum(range(1000))  # the real per-iteration work
+            total += sum(range(5000))  # the real per-iteration work
             if instrument:
                 obs.counter_add("overhead.test")
                 with obs.span("overhead.test"):

@@ -1,0 +1,179 @@
+"""The trace module: lifecycle, event shapes, schema validation, spill.
+
+Tracing is the tentpole of the observability PR: spans become clock-aligned
+Chrome complete events, counters/instants layer kernel and memory context
+onto the timeline, and worker spill files carry events that never rode a
+task snapshot home.  These tests pin the single-process behaviour; the
+cross-process pieces live in ``test_trace_pool.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+
+
+class TestLifecycle:
+    def test_disabled_by_default_and_span_is_free(self):
+        assert not obs.trace_enabled()
+        with obs.span("anything"):
+            pass
+        assert trace.take_trace() == []
+
+    def test_enable_implies_metric_collection(self):
+        obs.trace_enable(out="unused.json")
+        assert obs.trace_enabled()
+        assert obs.enabled()
+        assert trace.configured_trace_out() == "unused.json"
+
+    def test_disable_drops_buffer_and_out(self):
+        obs.trace_enable(out="unused.json")
+        with obs.span("work"):
+            pass
+        assert trace.take_trace()
+        obs.trace_disable()
+        assert trace.take_trace() == []
+        assert trace.configured_trace_out() is None
+
+    def test_buffer_survives_obs_reset_and_disable(self):
+        # The bench flips obs.enable()/disable() around its timed sections;
+        # the trace must keep accumulating across those flips.
+        obs.trace_enable(out="unused.json")
+        with obs.span("before"):
+            pass
+        obs.reset()
+        obs.disable()
+        obs.enable()
+        with obs.span("after"):
+            pass
+        names = [event["name"] for event in trace.take_trace() if event["ph"] == "X"]
+        assert "before" in names and "after" in names
+
+    def test_set_trace_collection_keeps_buffer(self):
+        obs.trace_enable(out="unused.json")
+        with obs.span("kept"):
+            pass
+        obs.set_trace_collection(False)
+        assert not obs.trace_enabled()
+        with obs.span("dropped"):
+            pass
+        obs.set_trace_collection(True)
+        names = [event["name"] for event in trace.take_trace()]
+        assert "kept" in names and "dropped" not in names
+
+
+class TestEvents:
+    def test_span_becomes_complete_event(self):
+        obs.trace_enable(out="unused.json")
+        with obs.span("outer", engine="dirty"):
+            with obs.span("inner"):
+                time.sleep(0.001)
+        events = {event["name"]: event for event in trace.take_trace()}
+        outer, inner = events["outer"], events["inner"]
+        for event in (outer, inner):
+            assert event["ph"] == "X"
+            assert event["pid"] == os.getpid()
+            assert event["dur"] >= 0
+        assert outer["args"]["engine"] == "dirty"
+        assert inner["args"]["path"] == "outer.inner"
+        # The child's window nests inside the parent's.
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1
+
+    def test_timestamps_are_epoch_aligned(self):
+        obs.trace_enable(out="unused.json")
+        before_us = time.time() * 1e6
+        with obs.span("aligned"):
+            pass
+        after_us = time.time() * 1e6
+        (event,) = [e for e in trace.take_trace() if e["name"] == "aligned"]
+        assert before_us - 1e6 <= event["ts"] <= after_us + 1e6
+
+    def test_emit_counter_and_instant(self):
+        obs.trace_enable(out="unused.json")
+        obs.emit_counter("rss_mb", {"rss_mb": 12.5})
+        obs.emit_instant("kernel.dispatch", {"engine": "dirty"})
+        counter, instant = trace.take_trace()
+        assert counter["ph"] == "C" and counter["args"] == {"rss_mb": 12.5}
+        assert instant["ph"] == "i" and instant["s"] == "p"
+        assert instant["args"]["engine"] == "dirty"
+
+    def test_read_rss_positive_on_linux(self):
+        rss = trace.read_rss_mb()
+        if rss is not None:
+            assert rss > 0
+
+
+class TestWriteAndValidate:
+    def test_write_trace_roundtrip_validates(self, tmp_path):
+        out = tmp_path / "trace.json"
+        obs.trace_enable(out=str(out))
+        with obs.span("one"):
+            pass
+        obs.counter_add("influence.dispatch.batch", 3)
+        written = obs.write_trace()
+        assert written == out
+        data = json.loads(out.read_text())
+        assert obs.validate_chrome_trace(data) == []
+        assert data["displayTimeUnit"] == "ms"
+        assert data["otherData"]["counters"]["influence.dispatch.batch"] == 3
+        names = {event["name"] for event in data["traceEvents"]}
+        assert "one" in names and "process_name" in names
+
+    def test_write_trace_without_path_raises(self):
+        obs.trace_enable()
+        with pytest.raises(ValueError, match="no trace output path"):
+            obs.write_trace()
+
+    def test_validate_flags_problems(self):
+        bad = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "ts": 10, "dur": -1},
+                {"name": "y", "ph": "X", "pid": 1, "ts": 5, "dur": 1},
+                {"name": "z", "ph": "?", "pid": 1, "ts": 0},
+            ]
+        }
+        problems = obs.validate_chrome_trace(bad)
+        assert any("non-negative dur" in p for p in problems)
+        assert any("moved backwards" in p for p in problems)
+        assert any("unknown phase" in p for p in problems)
+        assert obs.validate_chrome_trace({"nope": 1}) == [
+            "top level must be an object with a traceEvents list"
+        ]
+
+
+class TestSpill:
+    def test_flush_and_collect_roundtrip(self, tmp_path, monkeypatch):
+        out = tmp_path / "trace.json"
+        spill_dir = f"{out}.spill"
+        obs.trace_enable(out=str(out))
+        assert os.environ.get(obs.SPILL_DIR_ENV) == spill_dir
+        with obs.span("worker.side"):
+            pass
+        obs.counter_add("spilled.counter", 2)
+        path = obs.flush_worker_spill()
+        assert path is not None and path.parent == tmp_path / "trace.json.spill"
+        # The flush drained the buffer: a second flush is a no-op.
+        assert obs.flush_worker_spill() is None
+        assert trace.take_trace() == []
+        assert obs.counter_value("spilled.counter") == 0
+
+        consumed = obs.collect_spills()
+        assert consumed == 1
+        assert obs.counter_value("spilled.counter") == 2
+        assert "worker.side" in [e["name"] for e in trace.take_trace()]
+        # Spill files are deleted after merge — no double counting.
+        assert obs.collect_spills() == 0
+
+    def test_flush_without_spill_dir_is_noop(self, monkeypatch):
+        monkeypatch.delenv(obs.SPILL_DIR_ENV, raising=False)
+        obs.set_trace_collection(True)
+        with obs.span("unspillable"):
+            pass
+        assert obs.flush_worker_spill() is None

@@ -17,13 +17,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
 import _bench_history  # noqa: E402
 
 
-def report(benchmark="bench", smoke=False, scenario=None, **timings):
-    return {
+def report(benchmark="bench", smoke=False, scenario=None, commit=None, **timings):
+    entry = {
         "benchmark": benchmark,
         "smoke": smoke,
         "scenario": scenario or {"n": 100, "seed": 7},
         "results": dict(timings),
     }
+    if commit is not None:
+        entry["commit"] = commit
+    return entry
 
 
 class TestHistoryFile:
@@ -106,6 +109,39 @@ class TestGate:
         failures = _bench_history.gate_regression(history, report(build_s=1.5))
         assert len(failures) == 1
         assert "build_s" in failures[0]
+
+    def test_failure_names_best_run_commit_and_percentage(self):
+        history = {
+            "schema": _bench_history.SCHEMA,
+            "runs": [
+                report(build_s=1.0, commit="abc1234"),
+                report(build_s=2.0, commit="def5678"),
+            ],
+        }
+        failures = _bench_history.gate_regression(history, report(build_s=1.5))
+        assert len(failures) == 1
+        # Names the commit of the *best* run, not the latest.
+        assert "abc1234" in failures[0]
+        assert "def5678" not in failures[0]
+        assert "+50.0%" in failures[0]
+
+    def test_failure_without_commit_says_unknown(self):
+        history = self.history_with(1.0)  # report() stamps no commit
+        failures = _bench_history.gate_regression(history, report(build_s=5.0))
+        assert len(failures) == 1
+        assert "commit unknown" in failures[0]
+
+    def test_best_baselines_track_value_and_commit(self):
+        history = {
+            "runs": [
+                report(build_s=2.0, commit="older"),
+                report(build_s=1.0, commit="best"),
+                report(build_s=3.0, commit="newer"),
+            ]
+        }
+        key = _bench_history.scenario_key(history["runs"][0])
+        best = _bench_history.best_baselines(history, key)
+        assert best["results.build_s"] == (1.0, "best")
 
     def test_other_scenario_never_gates(self):
         history = {"runs": [report(smoke=True, build_s=0.001)]}
