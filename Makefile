@@ -11,13 +11,15 @@ test:
 ## Seconds-fast benchmark pass on a tiny city — CI wiring for the full bench.
 ## bench_solvers asserts all three sweep engines (full / dirty-full-scan /
 ## dirty) land on identical regret and move counts, that parallel restarts
-## equal serial, and — via the flag — that warm-pool parallel restarts are
-## at least as fast as serial.  The speedup gate assumes a multi-core runner
-## (GitHub Actions); on a single-CPU box warm-pool parallel ≈ serial ± noise.
+## equal serial, and — via the flag — that batched warm-pool parallel
+## restarts actually beat serial.  The speedup gate assumes a multi-core
+## runner (GitHub Actions); on a single-CPU box the bench skips the gate
+## with a stderr note instead of asserting a speedup the hardware cannot
+## produce.
 bench-smoke:
 	$(PYTHON) scripts/bench_coverage.py --smoke --output /tmp/BENCH_coverage_smoke.json
 	$(PYTHON) scripts/bench_solvers.py --smoke --output /tmp/BENCH_solvers_smoke.json \
-		--assert-parallel-speedup 1.0
+		--assert-parallel-speedup 1.2
 
 ## Full benchmarks; append a run to BENCH_coverage.json / BENCH_solvers.json
 ## at the root and fail when any timing regresses >15% against the best

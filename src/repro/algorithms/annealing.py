@@ -154,6 +154,12 @@ class SimulatedAnnealingSolver(Solver):
         Fan chains out over this many processes attached to a shared-memory
         coverage index; ``None``/``1`` runs them serially.  Same result
         either way.
+    restart_batch_size:
+        Chains packed into one pool task on the parallel path (``"auto"``
+        targets ≥0.5 s of compute per task from the run ledger's grain
+        history, falling back to one wave per worker; see DESIGN.md §13).
+        In-task reduction is the same strict ``<`` in chain order, so every
+        batching choice returns the identical best plan.
     """
 
     name = "SA"
@@ -166,6 +172,7 @@ class SimulatedAnnealingSolver(Solver):
         seed=None,
         restarts: int = 1,
         restart_workers: int | None = None,
+        restart_batch_size="auto",
     ) -> None:
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
@@ -177,12 +184,20 @@ class SimulatedAnnealingSolver(Solver):
             raise ValueError(
                 f"restart_workers must be >= 1, got {restart_workers}"
             )
+        if restart_batch_size not in (None, "auto") and (
+            not isinstance(restart_batch_size, int) or restart_batch_size < 1
+        ):
+            raise ValueError(
+                "restart_batch_size must be None, 'auto', or an int >= 1, "
+                f"got {restart_batch_size!r}"
+            )
         self.steps = steps
         self.initial_temperature = initial_temperature
         self.cooling = cooling
         self.seed = seed
         self.restarts = restarts
         self.restart_workers = restart_workers
+        self.restart_batch_size = restart_batch_size
 
     def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
         if self.restarts == 1:
@@ -207,6 +222,7 @@ class SimulatedAnnealingSolver(Solver):
                     initial_temperature=self.initial_temperature,
                     cooling=self.cooling,
                     workers=self.restart_workers,
+                    restart_batch_size=self.restart_batch_size,
                 )
             else:
                 chains = [
@@ -220,7 +236,11 @@ class SimulatedAnnealingSolver(Solver):
                     for chain_seed in seeds
                 ]
 
-        best = None
+        # Track the winning chain *index* and fetch its plan once at the end:
+        # batched tasks ship only their in-task winner's plan, and the global
+        # winner is always its own task's winner (strict < at both levels),
+        # so chains[best_index]["best"] is always present.
+        best_index = -1
         best_regret = math.inf
         accepted = 0
         for index, chain in enumerate(chains):
@@ -232,9 +252,10 @@ class SimulatedAnnealingSolver(Solver):
                 )
             accepted += chain["accepted"]
             if chain["best_regret"] < best_regret:
-                best = chain["best"]
                 best_regret = chain["best_regret"]
+                best_index = index
                 stats["sa_best_restart"] = index
+        best = chains[best_index]["best"]
 
         stats["sa_steps"] = self.steps * self.restarts
         stats["sa_accepted"] = accepted

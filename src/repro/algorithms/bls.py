@@ -49,36 +49,16 @@ from repro import obs
 from repro.obs import trace as _trace
 from repro.algorithms._marginal import _regret_values_unchecked
 from repro.algorithms.greedy_global import synchronous_greedy
+
+# _optimistic_regret lives in repro.algorithms.screen since the round-fused
+# screens landed (DESIGN.md §13); re-exported here because it is the interval
+# bound Algorithm 5's pruning argument is stated in terms of.
+from repro.algorithms.screen import ScreenRoundPlanner, _optimistic_regret  # noqa: F401
 from repro.algorithms.sweep import BillboardSweepState
 from repro.core.allocation import UNASSIGNED, Allocation
 from repro.core.moves import delta_release
 
 SWEEP_ENGINES = ("dirty", "dirty-full-scan", "full")
-
-
-def _optimistic_regret(
-    payments: np.ndarray,
-    demands: np.ndarray,
-    gamma: float,
-    lo: np.ndarray,
-    hi: np.ndarray,
-) -> np.ndarray:
-    """Minimum Eq. 1 regret reachable with achieved influence in ``[lo, hi]``.
-
-    Regret decreases in the unsatisfied branch, drops to 0 exactly at the
-    demand, and increases in the excessive branch, so the minimum is at the
-    point of the interval closest to the demand.
-
-    All operands broadcast (scalars welcome).  Demand positivity is enforced
-    once at :class:`~repro.core.problem.MROAMInstance` construction, not per
-    call — this runs inside the exchange screen's hot path.
-    """
-    lo = np.maximum(lo, 0.0)
-    hi = np.maximum(hi, lo)
-    at_hi = payments * (1.0 - gamma * hi / demands)  # still unsatisfied at hi
-    at_lo = payments * (lo - demands) / demands  # already excessive at lo
-    result = np.where(hi < demands, at_hi, 0.0)
-    return np.where(lo > demands, at_lo, result)
 
 
 def _partner_swap_delta(
@@ -633,6 +613,7 @@ def _dirty_engine(
     max_sweeps: int | None,
     stats: dict | None,
     restrict_scans: bool = True,
+    screen_workers: int | None = None,
 ) -> Allocation:
     """The dirty-set sweep loop (see module docstring and DESIGN.md §9–10).
 
@@ -648,6 +629,11 @@ def _dirty_engine(
     choice equals the full scan's (DESIGN.md §10).  ``restrict_scans=False``
     is the ``"dirty-full-scan"`` engine, kept for benchmarking the restricted
     kernels against their full-pass ancestor.
+
+    ``screen_workers`` lets the restricted engine fan each screen *round*
+    across the instance's persistent worker pool (DESIGN.md §13) — verdicts
+    only; surviving exchanges are still replayed serially here, so the
+    accepted move sequence is unchanged.
     """
     instance = allocation.instance
     state = BillboardSweepState(instance.num_advertisers, instance.num_billboards)
@@ -670,52 +656,29 @@ def _dirty_engine(
         screen_s = 0.0
 
         # Move families 1 & 2: pairwise and assigned↔free exchanges.  The
-        # restricted engine screens an advertiser's whole surviving pass in
-        # one batched bound computation (bit-identical verdicts, see
-        # _exchange_screen_batch) and recomputes it after every accepted
-        # move; the dirty-full-scan engine keeps the per-billboard screen —
-        # it *is* the PR-3 loop, preserved as the benchmark baseline.
+        # restricted engine screens at *round* granularity — one fused bound
+        # computation over every billboard the phase has yet to visit,
+        # optionally fanned across the worker pool (ScreenRoundPlanner,
+        # bit-identical verdicts) and recomputed after every accepted move;
+        # the dirty-full-scan engine keeps the per-billboard screen — it *is*
+        # the PR-3 loop, preserved as the benchmark baseline.
+        planner = (
+            ScreenRoundPlanner(
+                allocation, state, min_improvement, verifying, screen_workers, track
+            )
+            if restrict_scans
+            else None
+        )
         for advertiser_id in range(instance.num_advertisers):
             billboard_list = sorted(allocation.billboards_of(advertiser_id))
-            screen_sets: dict[int, np.ndarray] = {}
-            verdicts: dict[int, bool] | None = None
             for position, billboard_id in enumerate(billboard_list):
                 if allocation.owner_of(billboard_id) != advertiser_id:
                     continue  # already moved earlier in this sweep
                 owners = allocation.owners
                 if restrict_scans:
-                    if verdicts is None:
-                        screen_begin = time.perf_counter() if track else 0.0
-                        remaining = [
-                            candidate
-                            for candidate in billboard_list[position:]
-                            if allocation.owner_of(candidate) == advertiser_id
-                        ]
-                        screen_sets = {
-                            outgoing: (
-                                _all_exchange_candidates(
-                                    owners, advertiser_id, outgoing
-                                )
-                                if verifying
-                                or state.own_side_stale(advertiser_id, outgoing)
-                                else state.changed_candidates(
-                                    outgoing, owners, advertiser_id
-                                )
-                            )
-                            for outgoing in remaining
-                        }
-                        flags = _exchange_screen_batch(
-                            allocation,
-                            advertiser_id,
-                            remaining,
-                            [screen_sets[outgoing] for outgoing in remaining],
-                            min_improvement,
-                        )
-                        verdicts = dict(zip(remaining, flags.tolist()))
-                        if track:
-                            screen_s += time.perf_counter() - screen_begin
-                    screen_ids = screen_sets[billboard_id]
-                    survived = verdicts[billboard_id]
+                    survived, screen_ids = planner.lookup(
+                        advertiser_id, position, billboard_list
+                    )
                 else:
                     screen_begin = time.perf_counter() if track else 0.0
                     if verifying or state.own_side_stale(advertiser_id, billboard_id):
@@ -765,7 +728,10 @@ def _dirty_engine(
                     state.mark_move(advertisers=(advertiser_id, partner_owner))
                 exchanges += 1
                 improved = True
-                verdicts = None  # the move invalidates the batched verdicts
+                if planner is not None:
+                    planner.invalidate()  # the move invalidates the round
+        if planner is not None and track:
+            screen_s = planner.screen_seconds
         exchange_end = time.perf_counter() if track else 0.0
 
         # Move family 3: releases.  An advertiser's pass depends only on its
@@ -859,6 +825,7 @@ def billboard_driven_local_search(
     max_sweeps: int | None = None,
     stats: dict | None = None,
     engine: str = "dirty",
+    screen_workers: int | None = None,
 ) -> Allocation:
     """Run Algorithm 5; returns the improved allocation (may be a new object).
 
@@ -882,6 +849,13 @@ def billboard_driven_local_search(
         over the whole inventory (the pre-restriction behaviour, kept for
         benchmarking); ``"full"`` rescans everything each sweep.  All three
         reach the identical allocation via the identical move sequence.
+    screen_workers:
+        With ``engine="dirty"`` and a value ≥ 2, screen rounds above the
+        measured-size threshold (``REPRO_SCREEN_MIN_CELLS``) are fanned
+        across the instance's persistent worker pool; verdicts — and
+        therefore the accepted moves — are bit-identical to the serial
+        screen (DESIGN.md §13).  ``None`` (default) keeps every round
+        in-process.
     """
     if engine not in SWEEP_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {SWEEP_ENGINES}")
@@ -894,4 +868,5 @@ def billboard_driven_local_search(
             max_sweeps,
             stats,
             restrict_scans=(engine == "dirty"),
+            screen_workers=screen_workers,
         )

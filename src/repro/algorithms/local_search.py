@@ -21,6 +21,7 @@ best allocation.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -62,6 +63,19 @@ class RandomizedLocalSearch(Solver):
         Fan the random restarts out over this many worker processes attached
         to a shared-memory coverage index; ``None``/``1`` runs them serially.
         Same best allocation either way.
+    restart_batch_size:
+        Restarts packed into one pool task on the parallel path (DESIGN.md
+        §13).  ``"auto"`` (default) sizes batches so one task targets ≥0.5 s
+        of compute, calibrated from the incumbent refinement's wall time (or
+        the run ledger's grain history); an explicit int pins the batch
+        size; ``None``/``1`` restores one-task-per-restart.  The reduction
+        is strict ``<`` in restart order in-task and across tasks, so every
+        batching choice returns the serial run's exact best allocation.
+    screen_workers:
+        Forwarded to the BLS neighbourhood: fan each dirty-engine screen
+        round over the instance's worker pool when the round exceeds the
+        measured-size threshold.  Verdicts (hence moves) are bit-identical
+        to the serial screen.
     """
 
     def __init__(
@@ -73,6 +87,8 @@ class RandomizedLocalSearch(Solver):
         max_sweeps: int | None = None,
         engine: str = "dirty",
         restart_workers: int | None = None,
+        restart_batch_size="auto",
+        screen_workers: int | None = None,
     ) -> None:
         if neighborhood not in NEIGHBORHOODS:
             raise ValueError(
@@ -86,6 +102,15 @@ class RandomizedLocalSearch(Solver):
             raise ValueError(
                 f"restart_workers must be >= 1, got {restart_workers}"
             )
+        if restart_batch_size not in (None, "auto") and (
+            not isinstance(restart_batch_size, int) or restart_batch_size < 1
+        ):
+            raise ValueError(
+                "restart_batch_size must be None, 'auto', or an int >= 1, "
+                f"got {restart_batch_size!r}"
+            )
+        if screen_workers is not None and screen_workers < 1:
+            raise ValueError(f"screen_workers must be >= 1, got {screen_workers}")
         self.neighborhood = neighborhood
         self.restarts = restarts
         self.seed = seed
@@ -93,6 +118,8 @@ class RandomizedLocalSearch(Solver):
         self.max_sweeps = max_sweeps
         self.engine = engine
         self.restart_workers = restart_workers
+        self.restart_batch_size = restart_batch_size
+        self.screen_workers = screen_workers
         self.name = neighborhood.upper()
 
     def _local_search(self) -> Callable[[Allocation, dict], Allocation]:
@@ -109,6 +136,7 @@ class RandomizedLocalSearch(Solver):
             self.max_sweeps,
             stats,
             engine=self.engine,
+            screen_workers=self.screen_workers,
         )
 
     def _random_seed_ids(
@@ -168,12 +196,17 @@ class RandomizedLocalSearch(Solver):
         best: Allocation,
         best_regret: float,
         stats: dict,
+        estimate_seconds: float | None,
     ) -> tuple[Allocation, float]:
         """Fan the restarts out over processes; identical reduction to serial.
 
         The seed-id arrays are pre-drawn here from the same ``rng`` stream
         (and in the same order) the serial loop would consume, so the workers
-        run the exact restarts the serial path runs.
+        run the exact restarts the serial path runs.  The reduction tracks
+        the winning restart *index* and rebuilds one allocation at the end —
+        batched tasks only ship their in-task winner's owner vector, and the
+        global winner is always its own task's winner (strict ``<`` both
+        levels), so that vector is always present.
         """
         from repro.parallel.restarts import (
             allocation_from_owners,
@@ -191,16 +224,23 @@ class RandomizedLocalSearch(Solver):
             max_sweeps=self.max_sweeps,
             engine=self.engine,
             workers=self.restart_workers,
+            restart_batch_size=self.restart_batch_size,
+            estimate_seconds=estimate_seconds,
         )
         with obs.span("restart.reduce", restarts=len(outcomes)):
+            best_index = -1
             for restart, outcome in enumerate(outcomes):
                 before = dict(stats)
                 self._merge_stats(stats, outcome["stats"])
                 if outcome["total_regret"] < best_regret:
-                    best = allocation_from_owners(instance, outcome["owners"])
                     best_regret = outcome["total_regret"]
+                    best_index = restart
                     stats["best_restart"] = restart
                 self._record_restart(best_regret, before, stats)
+            if best_index >= 0:
+                best = allocation_from_owners(
+                    instance, outcomes[best_index]["owners"]
+                )
         return best, best_regret
 
     def _solve(self, instance: MROAMInstance, stats: dict) -> Allocation:
@@ -208,17 +248,22 @@ class RandomizedLocalSearch(Solver):
         local_search = self._local_search()
 
         # Line 3.1: incumbent from the synchronous greedy, then refined.
+        # Its wall time doubles as the "auto" grain calibration estimate —
+        # one restart is the same greedy + neighbourhood search from a
+        # random seed plan.
         before = dict(stats)
+        incumbent_started = time.perf_counter()
         best = Allocation(instance)
         synchronous_greedy(best, stats=stats)
         best = local_search(best, stats)
+        incumbent_seconds = time.perf_counter() - incumbent_started
         best_regret = best.total_regret()
         stats["best_restart"] = -1  # -1 = the deterministic greedy start
         self._record_restart(best_regret, before, stats)
 
         if self.restarts > 0 and (self.restart_workers or 1) > 1:
             best, best_regret = self._parallel_restarts(
-                instance, rng, best, best_regret, stats
+                instance, rng, best, best_regret, stats, incumbent_seconds
             )
         else:
             for restart in range(self.restarts):

@@ -1,0 +1,451 @@
+"""Round-fused exchange screens for the dirty BLS engine (DESIGN.md §13).
+
+The dirty engine's optimistic exchange screen is a pure function of the
+current allocation: given an outgoing billboard and its candidate set, the
+interval arithmetic proves (or fails to prove) that no improving exchange
+exists among the candidates.  PR 4 batched the screen per advertiser; the
+trace attribution of PR 6 showed that even so, the screen dominates dirty-BLS
+sweep wall (~60%) — mostly numpy call overhead and per-billboard candidate
+set construction, not arithmetic volume.
+
+This module collapses the screen to *round* granularity:
+
+* :func:`round_candidates` builds every remaining billboard's candidate set
+  in one broadcasted pass over the version counters (bit-identical per row to
+  :meth:`~repro.algorithms.sweep.BillboardSweepState.changed_candidates` /
+  the full-scan mask);
+* :func:`round_flags` prices every (billboard, candidate) pair of the round
+  in one fused vectorized pass — elementwise identical arithmetic to the
+  per-advertiser ``_exchange_screen_batch``, so the verdict vectors are
+  bit-identical;
+* :class:`ScreenRoundPlanner` caches one round's verdicts for the engine and
+  drops them after every accepted move, so each verdict is consumed at
+  exactly the allocation state the serial per-advertiser screen would have
+  computed it at — the accepted move sequence cannot drift.  Rows are
+  screened in geometrically growing chunks (1, 2, 4, …) from the visit
+  frontier: move-heavy stretches, where the next accepted move would throw
+  eager work away, cost one row per miss exactly like the per-billboard
+  screen, while quiescent stretches — the verification sweep and the late
+  sweeps where the screen wall actually concentrates — fuse the whole
+  remaining round within a logarithmic number of dispatches;
+* with ``screen_workers > 1`` the round's rows fan out across the instance's
+  persistent shared-memory pool (:func:`repro.parallel.pool.instance_pool`):
+  workers rebuild candidate sets from the shipped version counters against
+  their attached coverage, return flag vectors (plus candidate sets for the
+  few surviving rows), and the parent replays surviving exchanges serially —
+  move order, and with it Theorem 2's verification sweep, is untouched.
+
+Rounds below :func:`parallel_min_cells` (``rows × inventory`` cells) stay
+serial: a pool round trip costs ~1 ms, which only pays for itself once the
+fused screen itself costs more than that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.algorithms._marginal import _regret_values_unchecked
+from repro.algorithms.sweep import round_candidates
+from repro.core.allocation import UNASSIGNED
+
+#: Environment override for the serial-fallback threshold (round cells =
+#: screened rows × billboard inventory).  Benchmarks and tests lower it to
+#: force the parallel path on small instances.
+PARALLEL_MIN_CELLS_ENV = "REPRO_SCREEN_MIN_CELLS"
+
+#: Below this many round cells the pool round trip (~1 ms) exceeds the fused
+#: screen itself; the planner stays serial.
+DEFAULT_PARALLEL_MIN_CELLS = 1 << 17
+
+#: Serial chunk growth stops at this many cells (rows × inventory).  The
+#: fused pass materializes several float64 temporaries proportional to the
+#: chunk's candidate volume; past this size they fall out of cache and the
+#: screen turns memory-bound (measured at bench scale: unbounded chunks
+#: cost ~25% more wall than capped ones), while chunks this size still
+#: amortize the numpy call overhead dozens of rows at a time.  Only
+#: enforced while the parallel path is unavailable: pool workers split
+#: oversized chunks, so growth past the cap is exactly what makes fan-out
+#: worthwhile.
+SERIAL_CHUNK_CELLS = 1 << 16
+
+
+def parallel_min_cells() -> int:
+    """The measured-size threshold gating parallel screen rounds."""
+    raw = os.environ.get(PARALLEL_MIN_CELLS_ENV)
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_PARALLEL_MIN_CELLS
+
+
+def _optimistic_regret(
+    payments: np.ndarray,
+    demands: np.ndarray,
+    gamma: float,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """Minimum Eq. 1 regret reachable with achieved influence in ``[lo, hi]``.
+
+    Regret decreases in the unsatisfied branch, drops to 0 exactly at the
+    demand, and increases in the excessive branch, so the minimum is at the
+    point of the interval closest to the demand.
+
+    All operands broadcast (scalars welcome).  Demand positivity is enforced
+    once at :class:`~repro.core.problem.MROAMInstance` construction, not per
+    call — this runs inside the exchange screen's hot path.
+    """
+    lo = np.maximum(lo, 0.0)
+    hi = np.maximum(hi, lo)
+    at_hi = payments * (1.0 - gamma * hi / demands)  # still unsatisfied at hi
+    at_lo = payments * (lo - demands) / demands  # already excessive at lo
+    result = np.where(hi < demands, at_hi, 0.0)
+    return np.where(lo > demands, at_lo, result)
+
+
+def round_flags(
+    instance,
+    owners: np.ndarray,
+    influences: np.ndarray,
+    advertiser_ids: np.ndarray,
+    billboard_ids: np.ndarray,
+    flat_candidates: np.ndarray,
+    lengths: np.ndarray,
+    min_improvement: float,
+) -> np.ndarray:
+    """Screen verdicts for every row of a round in one fused pass.
+
+    ``flags[k] is False`` carries the per-advertiser batch screen's proof:
+    exchanging ``billboard_ids[k]`` with any of its candidates improves total
+    regret by at most ``min_improvement``.  The arithmetic is elementwise
+    with per-row scalars broadcast via ``repeat``, so each row's verdict is
+    bit-identical to ``_exchange_screen_batch`` on the same candidate set.
+    """
+    verdicts = np.zeros(len(billboard_ids), dtype=bool)
+    keep = np.nonzero(lengths > 0)[0]
+    if len(keep) == 0:
+        return verdicts
+    individual = instance.coverage.individual_influences_f64
+    influences_f64 = np.asarray(influences).astype(np.float64)
+    seg_lengths = lengths[keep]
+    starts = np.zeros(len(keep), dtype=np.int64)
+    np.cumsum(seg_lengths[:-1], out=starts[1:])
+
+    row_advertisers = np.asarray(advertiser_ids, dtype=np.int64)[keep]
+    outgoing = np.repeat(np.asarray(billboard_ids, dtype=np.int64)[keep], seg_lengths)
+    row_payments = instance.payments[row_advertisers]
+    row_demands = instance.demands[row_advertisers]
+    row_influence = influences_f64[row_advertisers]
+    row_regret = _regret_values_unchecked(
+        row_payments, row_demands, instance.gamma, row_influence
+    )
+    own_influence = np.repeat(row_influence, seg_lengths)
+
+    own_best = _optimistic_regret(
+        np.repeat(row_payments, seg_lengths),
+        np.repeat(row_demands, seg_lengths),
+        instance.gamma,
+        own_influence - individual[outgoing],
+        own_influence + individual[flat_candidates],
+    )
+    potential = np.repeat(row_regret, seg_lengths) - own_best
+
+    candidate_owners = owners[flat_candidates]
+    assigned = candidate_owners != UNASSIGNED
+    if assigned.any():
+        partner_ids = candidate_owners[assigned]
+        partner_influence = influences_f64[partner_ids]
+        partner_payments = instance.payments[partner_ids]
+        partner_demands = instance.demands[partner_ids]
+        partner_regret = _regret_values_unchecked(
+            partner_payments,
+            partner_demands,
+            instance.gamma,
+            partner_influence,
+        )
+        partner_best = _optimistic_regret(
+            partner_payments,
+            partner_demands,
+            instance.gamma,
+            partner_influence - individual[flat_candidates[assigned]],
+            partner_influence + individual[outgoing[assigned]],
+        )
+        potential[assigned] += partner_regret - partner_best
+    verdicts[keep] = np.logical_or.reduceat(potential > min_improvement, starts)
+    return verdicts
+
+
+def _screen_chunk(instance, payload: tuple) -> dict:
+    """One worker's share of a screen round (runs inside the pool).
+
+    The payload carries the allocation snapshot (owners, influences) and the
+    sweep-state vectors; candidate sets are rebuilt here against the attached
+    coverage — far cheaper to recompute than to ship — and returned only for
+    the rows that survive, which are the only ones the parent's exact scans
+    will consume.
+    """
+    (
+        owners,
+        influences,
+        advertiser_version,
+        freed_version,
+        certified,
+        advertiser_ids,
+        billboard_ids,
+        min_improvement,
+    ) = payload
+    flat, lengths = round_candidates(
+        owners, advertiser_ids, billboard_ids, certified, advertiser_version, freed_version
+    )
+    flags = round_flags(
+        instance,
+        owners,
+        influences,
+        advertiser_ids,
+        billboard_ids,
+        flat,
+        lengths,
+        min_improvement,
+    )
+    offsets = np.zeros(len(billboard_ids), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    survivors = {
+        int(billboard_ids[k]): flat[offsets[k] : offsets[k] + lengths[k]]
+        for k in np.nonzero(flags)[0]
+    }
+    return {"flags": flags, "survivors": survivors}
+
+
+class ScreenRoundPlanner:
+    """Round-level verdict cache for the dirty engine's exchange phase.
+
+    One *round* covers every billboard the phase has yet to visit: the
+    current advertiser's remaining list plus all later advertisers' sets.
+    Verdicts stay valid while the allocation is unchanged; every accepted
+    move calls :meth:`invalidate`, so a verdict is always consumed at the
+    allocation state the serial per-advertiser screen would have computed it
+    at.  A ``certify_scan`` between misses never invalidates: it stamps only
+    the screened billboard's own certificate, which no other row's candidate
+    set reads.
+
+    The round is screened lazily in chunks that double per miss (1, 2, 4,
+    …), resetting after every invalidation.  This keeps the planner no worse
+    than the per-billboard screen when moves land constantly (each chunk is
+    then a single frontier row) and lets it fuse — and with
+    ``screen_workers`` fan out — the whole remaining inventory once moves
+    dry up, which is where the screen wall concentrates.
+
+    Moves themselves are never computed here — the parent replays surviving
+    exchanges serially through the exact restricted scan, which is what
+    keeps the move sequence (and the final verification sweep's guarantee)
+    identical across serial and parallel screen runs.
+    """
+
+    def __init__(
+        self,
+        allocation,
+        state,
+        min_improvement: float,
+        verifying: bool,
+        screen_workers: int | None,
+        track: bool,
+    ) -> None:
+        self.allocation = allocation
+        self.state = state
+        self.min_improvement = min_improvement
+        self.verifying = verifying
+        self.screen_workers = screen_workers
+        self.track = track
+        self.screen_seconds = 0.0
+        self.rounds = 0
+        self.parallel_rounds = 0
+        self._valid = False
+        self._chunk_rows = 1
+        self._verdicts: dict[int, bool] = {}
+        self._survivor_sets: dict[int, np.ndarray] = {}
+
+    def invalidate(self) -> None:
+        """Drop the cached verdicts (call after every accepted move)."""
+        self._valid = False
+
+    def lookup(
+        self, advertiser_id: int, position: int, billboard_list: list[int]
+    ) -> tuple[bool, np.ndarray | None]:
+        """Verdict (and, for survivors, the screened candidate ids) of
+        ``billboard_list[position]`` owned by ``advertiser_id``.
+
+        A miss — the cache was invalidated by a move, or the visit frontier
+        passed the covered prefix — screens the next chunk of the remaining
+        round, starting at this row.  Chunks double per consecutive miss and
+        reset to one row after an invalidation.
+        """
+        billboard_id = billboard_list[position]
+        if not self._valid:
+            self._verdicts = {}
+            self._survivor_sets = {}
+            self._chunk_rows = 1
+            self._valid = True
+        if billboard_id not in self._verdicts:
+            self._compute(advertiser_id, position, billboard_list)
+        if not self._verdicts.get(billboard_id, False):
+            return False, None
+        return True, self._survivor_sets[billboard_id]
+
+    # ------------------------------------------------------------ internals
+
+    def _round_rows(
+        self, advertiser_id: int, position: int, billboard_list: list[int], limit: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The next ``limit`` unscreened rows from the visit frontier, in the
+        exact order the serial engine visits them: the current advertiser's
+        remaining (still-owned) list, then each later advertiser's sorted
+        set."""
+        allocation = self.allocation
+        advertisers: list[int] = []
+        billboards: list[int] = []
+        for candidate in billboard_list[position:]:
+            if len(billboards) >= limit:
+                break
+            if allocation.owner_of(candidate) == advertiser_id:
+                advertisers.append(advertiser_id)
+                billboards.append(candidate)
+        later = advertiser_id + 1
+        while len(billboards) < limit and later < allocation.instance.num_advertisers:
+            for candidate in sorted(allocation.billboards_of(later)):
+                if len(billboards) >= limit:
+                    break
+                advertisers.append(later)
+                billboards.append(candidate)
+            later += 1
+        return (
+            np.asarray(advertisers, dtype=np.int64),
+            np.asarray(billboards, dtype=np.int64),
+        )
+
+    def _compute(
+        self, advertiser_id: int, position: int, billboard_list: list[int]
+    ) -> None:
+        started = time.perf_counter() if self.track else 0.0
+        limit = self._chunk_rows
+        if not self.screen_workers or self.screen_workers < 2:
+            inventory = self.allocation.instance.num_billboards
+            limit = min(limit, max(1, SERIAL_CHUNK_CELLS // max(inventory, 1)))
+        advertiser_ids, billboard_ids = self._round_rows(
+            advertiser_id, position, billboard_list, limit
+        )
+        self._chunk_rows = limit * 2
+        self.rounds += 1
+        obs.counter_add("bls.screen.rounds")
+        if len(billboard_ids) == 0:
+            if self.track:
+                self.screen_seconds += time.perf_counter() - started
+            return
+        allocation = self.allocation
+        state = self.state
+        owners = allocation.owners
+        certified = state.round_certificates(
+            advertiser_ids, billboard_ids, self.verifying
+        )
+        flags, survivors = None, None
+        if self._use_pool(len(billboard_ids)):
+            flags, survivors = self._compute_parallel(
+                owners, advertiser_ids, billboard_ids, certified
+            )
+        if flags is None:
+            flags, survivors = self._serial_round(
+                owners, advertiser_ids, billboard_ids, certified
+            )
+        self._verdicts.update(
+            zip((int(b) for b in billboard_ids), flags.tolist())
+        )
+        self._survivor_sets.update(survivors)
+        if self.track:
+            self.screen_seconds += time.perf_counter() - started
+
+    def _serial_round(
+        self,
+        owners: np.ndarray,
+        advertiser_ids: np.ndarray,
+        billboard_ids: np.ndarray,
+        certified: np.ndarray,
+    ) -> tuple[np.ndarray, dict]:
+        allocation = self.allocation
+        state = self.state
+        flat, lengths = round_candidates(
+            owners,
+            advertiser_ids,
+            billboard_ids,
+            certified,
+            state.advertiser_version,
+            state.freed_version,
+        )
+        flags = round_flags(
+            allocation.instance,
+            owners,
+            allocation.influences,
+            advertiser_ids,
+            billboard_ids,
+            flat,
+            lengths,
+            self.min_improvement,
+        )
+        offsets = np.zeros(len(billboard_ids), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        survivors = {
+            int(billboard_ids[k]): flat[offsets[k] : offsets[k] + lengths[k]]
+            for k in np.nonzero(flags)[0]
+        }
+        return flags, survivors
+
+    def _use_pool(self, rows: int) -> bool:
+        if not self.screen_workers or self.screen_workers < 2 or rows < 2:
+            return False
+        cells = rows * self.allocation.instance.num_billboards
+        return cells >= parallel_min_cells()
+
+    def _compute_parallel(
+        self,
+        owners: np.ndarray,
+        advertiser_ids: np.ndarray,
+        billboard_ids: np.ndarray,
+        certified: np.ndarray,
+    ) -> tuple[np.ndarray, dict] | tuple[None, None]:
+        from repro.parallel.pool import instance_pool
+
+        allocation = self.allocation
+        state = self.state
+        pool = instance_pool(allocation.instance, self.screen_workers)
+        chunks = min(pool.workers, len(billboard_ids))
+        if chunks < 2:
+            # The affinity cap collapsed the pool to one worker — the round
+            # trip buys nothing; the caller falls back to the fused serial
+            # screen in-process.
+            return None, None
+        influences = np.asarray(allocation.influences)
+        shared = (
+            np.asarray(owners),
+            influences,
+            state.advertiser_version,
+            state.freed_version,
+        )
+        payloads = []
+        for adv_chunk, bb_chunk, cert_chunk in zip(
+            np.array_split(advertiser_ids, chunks),
+            np.array_split(billboard_ids, chunks),
+            np.array_split(certified, chunks),
+        ):
+            payloads.append((*shared, cert_chunk, adv_chunk, bb_chunk, self.min_improvement))
+        self.parallel_rounds += 1
+        obs.counter_add("bls.screen.parallel")
+        results = pool.run(_screen_chunk, payloads)
+        flags = np.concatenate([result["flags"] for result in results])
+        survivors: dict[int, np.ndarray] = {}
+        for result in results:
+            survivors.update(result["survivors"])
+        return flags, survivors

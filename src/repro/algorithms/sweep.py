@@ -92,6 +92,28 @@ class BillboardSweepState:
     def certify_scan(self, billboard_id: int) -> None:
         self.scan_version[billboard_id] = self.version
 
+    def round_certificates(
+        self,
+        advertiser_ids: np.ndarray,
+        billboard_ids: np.ndarray,
+        verifying: bool,
+    ) -> np.ndarray:
+        """Effective scan certificates for a whole screen round at once.
+
+        ``-1`` marks rows that must take the full candidate mask — verify
+        sweeps and rows failing :meth:`own_side_stale`; other rows carry
+        their billboard's certified scan version, exactly the value
+        :meth:`changed_candidates` compares stamps against.  Feed the result
+        to :func:`round_candidates`.
+        """
+        if verifying:
+            return np.full(len(billboard_ids), -1, dtype=np.int64)
+        certified = self.scan_version[billboard_ids]
+        stale = (certified == 0) | (
+            self.advertiser_version[advertiser_ids] > certified
+        )
+        return np.where(stale, np.int64(-1), certified)
+
     def release_pass_clean(self, advertiser_id: int) -> bool:
         return bool(
             self.advertiser_version[advertiser_id]
@@ -100,6 +122,40 @@ class BillboardSweepState:
 
     def certify_release_pass(self, advertiser_id: int) -> None:
         self.release_version[advertiser_id] = self.version
+
+
+def round_candidates(
+    owners: np.ndarray,
+    advertiser_ids: np.ndarray,
+    billboard_ids: np.ndarray,
+    certified: np.ndarray,
+    advertiser_version: np.ndarray,
+    freed_version: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Every row's exchange-candidate ids, concatenated, plus per-row lengths.
+
+    One broadcasted ``(rows × billboards)`` comparison replacing per-billboard
+    :meth:`BillboardSweepState.changed_candidates` calls; each row's slice is
+    bit-identical to the scalar helper because the stamp vector, the
+    exclusion masks, and row-major ``nonzero`` ordering reproduce the same
+    ascending candidate ids.  A ``certified`` entry of ``-1`` (see
+    :meth:`BillboardSweepState.round_certificates`) turns its row into the
+    full-scan mask — every stamp is ``>= 1``, so only the exclusions bite.
+
+    A module function rather than a method because the parallel screen
+    workers call it against *shipped* version vectors, not a live state
+    object (DESIGN.md §13).
+    """
+    assigned = owners != UNASSIGNED
+    stamp = np.where(
+        assigned, advertiser_version[np.where(assigned, owners, 0)], freed_version
+    )
+    changed = stamp[None, :] > certified[:, None]
+    changed[owners[None, :] == advertiser_ids[:, None]] = False
+    changed[np.arange(len(billboard_ids)), billboard_ids] = False
+    rows, cols = np.nonzero(changed)
+    lengths = np.bincount(rows, minlength=len(billboard_ids)).astype(np.int64)
+    return cols, lengths
 
 
 class PairSweepState:

@@ -72,6 +72,20 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         "coverage, same result as serial; ignored with --workers > 1)",
     )
     parser.add_argument(
+        "--restart-batch-size",
+        default=None,
+        metavar="K|auto",
+        help="restarts packed per pool task on the --restart-workers path "
+        "(auto targets >=0.5s of compute per task; same result either way)",
+    )
+    parser.add_argument(
+        "--screen-workers",
+        type=int,
+        default=None,
+        help="worker processes for BLS dirty-engine screen rounds above the "
+        "size threshold (bit-identical moves; ignored with --workers > 1)",
+    )
+    parser.add_argument(
         "--obs-out",
         default=None,
         metavar="PATH",
@@ -123,6 +137,19 @@ def _apply_coverage_knobs(args: argparse.Namespace) -> None:
         if args.coverage_chunk_size <= 0:
             raise SystemExit("--coverage-chunk-size must be positive")
         os.environ[influence.CHUNK_SIZE_ENV] = str(args.coverage_chunk_size)
+
+
+def _restart_batch_size(args: argparse.Namespace):
+    """Parse --restart-batch-size: None (solver default), "auto", or int."""
+    raw = getattr(args, "restart_batch_size", None)
+    if raw is None or raw == "auto":
+        return raw
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"--restart-batch-size must be an integer or 'auto', got {raw!r}"
+        )
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -193,6 +220,8 @@ def _cmd_cell(args: argparse.Namespace) -> int:
         restarts=args.restarts,
         workers=args.workers,
         restart_workers=args.restart_workers,
+        screen_workers=args.screen_workers,
+        restart_batch_size=_restart_batch_size(args),
     )
     print(f"cell: {scenario}")
     for method, cell in metrics.items():
@@ -220,6 +249,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         restarts=args.restarts,
         workers=args.workers,
         restart_workers=args.restart_workers,
+        screen_workers=args.screen_workers,
+        restart_batch_size=_restart_batch_size(args),
     )
     fmt = _SWEEP_FORMATS[args.parameter]
     print(format_regret_table(result, f"{args.dataset.upper()} — sweep over {args.parameter}", fmt))

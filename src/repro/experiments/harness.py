@@ -54,12 +54,20 @@ class ExperimentResult:
 
 
 def _solver_kwargs(
-    method: str, restarts: int, restart_workers: int | None = None
+    method: str,
+    restarts: int,
+    restart_workers: int | None = None,
+    screen_workers: int | None = None,
+    restart_batch_size=None,
 ) -> dict:
     if method in ("als", "bls"):
         kwargs: dict = {"restarts": restarts}
         if restart_workers is not None:
             kwargs["restart_workers"] = restart_workers
+        if screen_workers is not None and method == "bls":
+            kwargs["screen_workers"] = screen_workers
+        if restart_batch_size is not None:
+            kwargs["restart_batch_size"] = restart_batch_size
         return kwargs
     return {}
 
@@ -72,6 +80,8 @@ def _run_method(
     runtime_repeats: int,
     span_attrs: dict | None = None,
     restart_workers: int | None = None,
+    screen_workers: int | None = None,
+    restart_batch_size=None,
 ) -> CellMetrics:
     """One (instance, method) execution — the unit of parallel work."""
     with obs.span("harness.cell", method=method, **(span_attrs or {})):
@@ -87,7 +97,9 @@ def _run_method(
         solver = make_solver(
             method,
             seed=solver_seed,
-            **_solver_kwargs(method, restarts, restart_workers),
+            **_solver_kwargs(
+                method, restarts, restart_workers, screen_workers, restart_batch_size
+            ),
         )
         first = solver.solve(instance)
         metrics = CellMetrics.from_result(method, first)
@@ -97,7 +109,13 @@ def _run_method(
                 repeat_solver = make_solver(
                     method,
                     seed=solver_seed,
-                    **_solver_kwargs(method, restarts, restart_workers),
+                    **_solver_kwargs(
+                        method,
+                        restarts,
+                        restart_workers,
+                        screen_workers,
+                        restart_batch_size,
+                    ),
                 )
                 runtimes.append(repeat_solver.solve(instance).runtime_s)
             metrics = replace(metrics, runtime_s=sum(runtimes) / len(runtimes))
@@ -108,6 +126,7 @@ def _run_method(
             method=method,
             restarts=int(restarts),
             restart_workers=restart_workers,
+            screen_workers=screen_workers,
             regret=float(metrics.total_regret),
             wall_s=float(metrics.runtime_s),
             **(span_attrs or {}),
@@ -262,6 +281,8 @@ def run_cell(
     runtime_repeats: int = 1,
     workers: int | None = None,
     restart_workers: int | None = None,
+    screen_workers: int | None = None,
+    restart_batch_size=None,
     _span_attrs: dict | None = None,
 ) -> dict[str, CellMetrics]:
     """Run each method on one cell; returns ``{method: CellMetrics}``.
@@ -272,8 +293,10 @@ def run_cell(
     out across processes (regret metrics identical to the serial path); a
     pre-built ``instance`` pins the cell to the serial path since workers
     rebuild the instance from the scenario.  ``restart_workers`` fans the
-    ALS/BLS random restarts out inside each serial method run (ignored on
-    the ``workers > 1`` path — no nested pools).
+    ALS/BLS random restarts out inside each serial method run, and
+    ``screen_workers`` fans the BLS dirty engine's screen rounds over the
+    instance pool (both ignored on the ``workers > 1`` path — no nested
+    pools).
     """
     if runtime_repeats < 1:
         raise ValueError(f"runtime_repeats must be >= 1, got {runtime_repeats}")
@@ -296,6 +319,8 @@ def run_cell(
             runtime_repeats,
             _span_attrs,
             restart_workers=restart_workers,
+            screen_workers=screen_workers,
+            restart_batch_size=restart_batch_size,
         )
         for method in methods
     }
@@ -312,6 +337,8 @@ def sweep(
     runtime_repeats: int = 1,
     workers: int | None = None,
     restart_workers: int | None = None,
+    screen_workers: int | None = None,
+    restart_batch_size=None,
 ) -> ExperimentResult:
     """Vary one scenario field across ``values``; other fields stay fixed.
 
@@ -358,6 +385,8 @@ def sweep(
             solver_seed=solver_seed,
             runtime_repeats=runtime_repeats,
             restart_workers=restart_workers,
+            screen_workers=screen_workers,
+            restart_batch_size=restart_batch_size,
             _span_attrs={"parameter": parameter, "value": value},
         )
     return result

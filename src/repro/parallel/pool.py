@@ -28,6 +28,12 @@ Lifecycle rules (DESIGN.md §10):
   run on (``os.sched_getaffinity``) — extra workers only thrash the cache;
 * workers freeze their post-attach heap (``gc.freeze``) so the attached
   coverage never pays collection passes during solver work.
+
+Task *grain*: one ``map`` payload is one ``pool.task`` span.  Callers that
+need fatter grains (the batched restart drivers, DESIGN.md §13) pack
+several work items into a single payload and record the packing on the
+``pool.task.batch`` histogram — the pool itself never merges payloads, so
+the span count stays an exact task count for trace attribution.
 """
 
 from __future__ import annotations
