@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-scale bench-scale-smoke lint obs-demo trace-smoke
+.PHONY: test bench-smoke bench bench-scale bench-scale-smoke lint lint-canary obs-demo trace-smoke
 
 ## Tier-1 test suite (also runs the benchmark script's smoke mode, see
 ## tests/experiments/test_parallel_harness.py).
@@ -38,10 +38,18 @@ bench-scale:
 bench-scale-smoke:
 	$(PYTHON) scripts/bench_scale.py --smoke --output /tmp/BENCH_scale_smoke.json
 
-## Syntax/bytecode gate over all Python sources (the container ships no
-## third-party linter, so this is a stdlib-only check).
+## Static checks, all stdlib-only (the container ships no third-party
+## linter): bytecode compilation, the repro invariant linter (DESIGN.md §14),
+## and the generated README env-knob table staying in sync with repro.env.
 lint:
 	$(PYTHON) -m compileall -q src tests scripts examples
+	$(PYTHON) -m repro.cli lint
+	$(PYTHON) scripts/gen_env_docs.py --check
+
+## Prove each shipped lint rule fires on an injected violation and that the
+## suppression + baseline escape hatches round-trip (the CI canary step).
+lint-canary:
+	$(PYTHON) scripts/lint_canary.py
 
 ## Small instrumented sweep: two workers, a shared coverage cache, the JSONL
 ## run log, and the end-of-run summary table (see README "Inspecting a run").

@@ -40,7 +40,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 import _bench_history
 
-from repro import obs
+from repro import env, obs
 from repro.billboard import coverage_cache
 from repro.billboard.influence import BITMAP_BUDGET_ENV, CoverageIndex
 from repro.billboard.model import BillboardDB
@@ -161,12 +161,7 @@ def bench_bls_cell(scenario: Scenario, restarts: int) -> dict:
     timings = {}
     regrets = {}
     for label, budget in (("id_array_s", "0"), ("bitmap_s", "")):
-        previous = os.environ.get(BITMAP_BUDGET_ENV)
-        if budget:
-            os.environ[BITMAP_BUDGET_ENV] = budget
-        else:
-            os.environ.pop(BITMAP_BUDGET_ENV, None)
-        try:
+        with env.temporary(BITMAP_BUDGET_ENV, budget or None):
             city = scenario.build_city()
             instance = scenario.build_instance(city)
             started = time.perf_counter()
@@ -175,11 +170,6 @@ def bench_bls_cell(scenario: Scenario, restarts: int) -> dict:
             )
             timings[label] = time.perf_counter() - started
             regrets[label] = metrics["bls"].total_regret
-        finally:
-            if previous is None:
-                os.environ.pop(BITMAP_BUDGET_ENV, None)
-            else:
-                os.environ[BITMAP_BUDGET_ENV] = previous
     assert regrets["id_array_s"] == regrets["bitmap_s"], (
         "BLS reached different regret under the two kernels"
     )

@@ -44,7 +44,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import _bench_history
 from bench_coverage import git_commit
 
-from repro import obs
+from repro import env, obs
 from repro.algorithms.bls import billboard_driven_local_search
 from repro.algorithms.greedy_global import synchronous_greedy
 from repro.billboard import bitmap_store, popcount_jit
@@ -201,24 +201,19 @@ def run_variant(
 ) -> tuple[dict, dict]:
     """Build the variant, run the workload, and report timings + results."""
     use_numba = name.endswith("+numba")
-    previous = os.environ.get(popcount_jit.NUMBA_ENV)
-    os.environ[popcount_jit.NUMBA_ENV] = "1" if use_numba else "0"
-    popcount_jit.reset()
-    try:
-        index = make_variant(flat, offsets, n, name)
-        if use_numba:  # compile outside the timed region
-            assert popcount_jit.enabled(), "numba requested but kernels missing"
-            query_workload(index, min(n, 1_000), seed)
-        timings, results = query_workload(index, n, seed)
-        timings["tier"] = index.bitmap_tier or "idarray"
-        timings["obs"] = dispatch_counters(index, n, seed)
-        return timings, results
-    finally:
-        if previous is None:
-            os.environ.pop(popcount_jit.NUMBA_ENV, None)
-        else:
-            os.environ[popcount_jit.NUMBA_ENV] = previous
+    with env.temporary(popcount_jit.NUMBA_ENV, "1" if use_numba else "0"):
         popcount_jit.reset()
+        try:
+            index = make_variant(flat, offsets, n, name)
+            if use_numba:  # compile outside the timed region
+                assert popcount_jit.enabled(), "numba requested but kernels missing"
+                query_workload(index, min(n, 1_000), seed)
+            timings, results = query_workload(index, n, seed)
+            timings["tier"] = index.bitmap_tier or "idarray"
+            timings["obs"] = dispatch_counters(index, n, seed)
+            return timings, results
+        finally:
+            popcount_jit.reset()
 
 
 def bench_size(stream, n: int, lambda_m: float, seed: int) -> dict:
@@ -307,9 +302,7 @@ def main(argv: list[str] | None = None) -> int:
     lambda_m = 100.0
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as spill_dir:
-        previous_spill = os.environ.get(bitmap_store.SPILL_DIR_ENV)
-        os.environ[bitmap_store.SPILL_DIR_ENV] = spill_dir
-        try:
+        with env.temporary(bitmap_store.SPILL_DIR_ENV, spill_dir):
             size_entries = {}
             for n in sizes:
                 stream = nyc_stream(
@@ -322,11 +315,6 @@ def main(argv: list[str] | None = None) -> int:
                 args.billboards, bls_n, chunk_size=CHUNK_SIZE, seed=args.seed
             )
             bls = bench_bls(stream, bls_n, lambda_m, args.seed)
-        finally:
-            if previous_spill is None:
-                os.environ.pop(bitmap_store.SPILL_DIR_ENV, None)
-            else:
-                os.environ[bitmap_store.SPILL_DIR_ENV] = previous_spill
 
     report = {
         "benchmark": "coverage-scale",

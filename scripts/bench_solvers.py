@@ -54,7 +54,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 import _bench_history
 
-from repro import obs
+from repro import env, obs
 from repro.algorithms.bls import SWEEP_ENGINES, billboard_driven_local_search
 from repro.algorithms.greedy_global import synchronous_greedy
 from repro.algorithms.local_search import RandomizedLocalSearch
@@ -386,7 +386,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.ledger is not None:
         os.environ[obs.LEDGER_ENV] = args.ledger
-    trace_out = args.trace_out or os.environ.get(obs.TRACE_ENV)
+    trace_out = args.trace_out or env.OBS_TRACE.raw()
     if trace_out is not None:
         # Attribution needs real worker processes even on 1-CPU runners; the
         # oversubscription knob lifts the affinity cap for this (non-timing)
@@ -494,7 +494,7 @@ def main(argv: list[str] | None = None) -> int:
             # time-slice one core.  Asserting would only flake.
             mode = (
                 "oversubscribed pool"
-                if os.environ.get(OVERSUBSCRIBE_ENV)
+                if env.POOL_OVERSUBSCRIBE.is_set()
                 else "affinity-capped pool"
             )
             print(

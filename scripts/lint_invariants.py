@@ -1,0 +1,30 @@
+"""Invariant linter wrapper for bare checkouts (``repro lint`` equivalent).
+
+Runs the stdlib-``ast`` rule set over ``src/``, ``scripts/``,
+``benchmarks/`` and ``examples/``: determinism contracts, shared-memory
+lifecycles, the obs name taxonomy, the ``repro.env`` knob registry,
+bit-identity test coverage, and telemetry-free tight loops.
+
+Usage::
+
+    python scripts/lint_invariants.py
+    python scripts/lint_invariants.py --json          # shared findings schema
+    python scripts/lint_invariants.py --list-rules
+    python scripts/lint_invariants.py src/repro/algorithms/bls.py
+
+Equivalent to ``PYTHONPATH=src python -m repro.cli lint``; this wrapper
+bootstraps ``src`` itself so it runs from a bare checkout.  Exit status 0
+when every finding is suppressed or baselined, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,14 +43,27 @@ def main(argv: list[str] | None = None) -> int:
         help="check Chrome-trace schema conformance (clock alignment, "
         "required fields) and exit non-zero on problems",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="with --validate: emit the shared findings JSON schema (the "
+        "same shape `repro lint --json` prints) instead of text",
+    )
     args = parser.parse_args(argv)
 
     if args.validate:
         import json
 
+        from repro.lint.findings import findings_payload, problems_to_findings
+
         with open(args.path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
         problems = obs.validate_chrome_trace(data)
+        if args.as_json:
+            findings = problems_to_findings("trace-schema", args.path, problems)
+            print(json.dumps(findings_payload("repro-obs-validate", findings), indent=2))
+            return 1 if problems else 0
         if problems:
             print(f"{args.path}: {len(problems)} schema problem(s)")
             for problem in problems:

@@ -494,7 +494,7 @@ def _emit_sweep_phases(
     clock per phase boundary, not per move, so the instrumented sweep costs a
     handful of ``perf_counter`` reads.
     """
-    duration_s = time.perf_counter() - started
+    duration_s = time.perf_counter() - started  # repro-lint: ignore[determinism] telemetry-only clock
     obs.histogram_observe("bls.phase.screen", screen_s)
     obs.histogram_observe("bls.phase.exchange", exchange_s)
     obs.histogram_observe("bls.phase.release", release_s)
@@ -551,7 +551,7 @@ def _full_engine(
         sweeps += 1
         improved = False
         track = obs.enabled() or obs.trace_enabled()
-        sweep_start = time.perf_counter() if track else 0.0
+        sweep_start = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
 
         # Move families 1 & 2: pairwise and assigned↔free exchanges.
         for advertiser_id in range(instance.num_advertisers):
@@ -565,7 +565,7 @@ def _full_engine(
                     allocation.exchange_billboards(billboard_id, partner)
                     exchanges += 1
                     improved = True
-        exchange_end = time.perf_counter() if track else 0.0
+        exchange_end = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
 
         # Move family 3: releases.
         for advertiser_id in range(instance.num_advertisers):
@@ -577,7 +577,7 @@ def _full_engine(
                     allocation.release(billboard_id)
                     releases += 1
                     improved = True
-        release_end = time.perf_counter() if track else 0.0
+        release_end = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
 
         # Move family 4: greedy top-up of the unassigned pool (line 5.11),
         # adopted only if it strictly improves (lines 5.12-5.13).
@@ -596,7 +596,7 @@ def _full_engine(
                 0.0,
                 exchange_end - sweep_start,
                 release_end - exchange_end,
-                time.perf_counter() - release_end,
+                time.perf_counter() - release_end,  # repro-lint: ignore[determinism] telemetry-only clock
                 verify=False,
             )
         if not improved or (max_sweeps is not None and sweeps >= max_sweeps):
@@ -652,7 +652,7 @@ def _dirty_engine(
         improved = False
         verify_sweep = verifying
         track = obs.enabled() or obs.trace_enabled()
-        sweep_start = time.perf_counter() if track else 0.0
+        sweep_start = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
         screen_s = 0.0
 
         # Move families 1 & 2: pairwise and assigned↔free exchanges.  The
@@ -680,7 +680,7 @@ def _dirty_engine(
                         advertiser_id, position, billboard_list
                     )
                 else:
-                    screen_begin = time.perf_counter() if track else 0.0
+                    screen_begin = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
                     if verifying or state.own_side_stale(advertiser_id, billboard_id):
                         screen_ids = _all_exchange_candidates(
                             owners, advertiser_id, billboard_id
@@ -697,7 +697,7 @@ def _dirty_engine(
                         min_improvement,
                     )
                     if track:
-                        screen_s += time.perf_counter() - screen_begin
+                        screen_s += time.perf_counter() - screen_begin  # repro-lint: ignore[determinism] telemetry-only clock
                 if not survived:
                     skipped += 1
                     state.certify_scan(billboard_id)
@@ -732,7 +732,7 @@ def _dirty_engine(
                     planner.invalidate()  # the move invalidates the round
         if planner is not None and track:
             screen_s = planner.screen_seconds
-        exchange_end = time.perf_counter() if track else 0.0
+        exchange_end = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
 
         # Move family 3: releases.  An advertiser's pass depends only on its
         # own set, so it is skipped while its certificate holds.
@@ -768,7 +768,7 @@ def _dirty_engine(
                     improved = True
             if not accepted_any:
                 state.certify_release_pass(advertiser_id)
-        release_end = time.perf_counter() if track else 0.0
+        release_end = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
 
         # Move family 4: greedy top-up.  The greedy is deterministic in the
         # allocation, so it is re-run whenever the pool is non-empty (exactly
@@ -798,7 +798,7 @@ def _dirty_engine(
                 screen_s,
                 exchange_end - sweep_start - screen_s,
                 release_end - exchange_end,
-                time.perf_counter() - release_end,
+                time.perf_counter() - release_end,  # repro-lint: ignore[determinism] telemetry-only clock
                 verify=verify_sweep,
             )
         if max_sweeps is not None and sweeps >= max_sweeps:

@@ -47,7 +47,7 @@ import time
 
 import numpy as np
 
-from repro import obs
+from repro import env, obs
 from repro.algorithms._marginal import _regret_values_unchecked
 from repro.algorithms.sweep import round_candidates
 from repro.core.allocation import UNASSIGNED
@@ -55,7 +55,7 @@ from repro.core.allocation import UNASSIGNED
 #: Environment override for the serial-fallback threshold (round cells =
 #: screened rows × billboard inventory).  Benchmarks and tests lower it to
 #: force the parallel path on small instances.
-PARALLEL_MIN_CELLS_ENV = "REPRO_SCREEN_MIN_CELLS"
+PARALLEL_MIN_CELLS_ENV = env.SCREEN_MIN_CELLS.name
 
 #: Below this many round cells the pool round trip (~1 ms) exceeds the fused
 #: screen itself; the planner stays serial.
@@ -75,7 +75,7 @@ SERIAL_CHUNK_CELLS = 1 << 16
 
 def parallel_min_cells() -> int:
     """The measured-size threshold gating parallel screen rounds."""
-    raw = os.environ.get(PARALLEL_MIN_CELLS_ENV)
+    raw = env.SCREEN_MIN_CELLS.raw()
     if raw:
         try:
             return max(0, int(raw))
@@ -331,7 +331,7 @@ class ScreenRoundPlanner:
     def _compute(
         self, advertiser_id: int, position: int, billboard_list: list[int]
     ) -> None:
-        started = time.perf_counter() if self.track else 0.0
+        started = time.perf_counter() if self.track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
         limit = self._chunk_rows
         if not self.screen_workers or self.screen_workers < 2:
             inventory = self.allocation.instance.num_billboards
@@ -344,7 +344,7 @@ class ScreenRoundPlanner:
         obs.counter_add("bls.screen.rounds")
         if len(billboard_ids) == 0:
             if self.track:
-                self.screen_seconds += time.perf_counter() - started
+                self.screen_seconds += time.perf_counter() - started  # repro-lint: ignore[determinism] telemetry-only clock
             return
         allocation = self.allocation
         state = self.state
@@ -366,7 +366,7 @@ class ScreenRoundPlanner:
         )
         self._survivor_sets.update(survivors)
         if self.track:
-            self.screen_seconds += time.perf_counter() - started
+            self.screen_seconds += time.perf_counter() - started  # repro-lint: ignore[determinism] telemetry-only clock
 
     def _serial_round(
         self,

@@ -45,19 +45,15 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import env
 from repro.billboard import popcount_jit
 from repro.utils import bitset
 
 #: Environment variable selecting the bitmap storage mode.
-STORAGE_ENV = "REPRO_BITMAP_STORAGE"
+STORAGE_ENV = env.BITMAP_STORAGE.name
 
 #: Environment variable naming the memmap spill directory.
-SPILL_DIR_ENV = "REPRO_BITMAP_SPILL_DIR"
-
-#: The coverage-cache directory doubles as the default spill location, per
-#: its own env var (named literally here to avoid a circular import with
-#: :mod:`repro.billboard.coverage_cache`).
-_COVERAGE_CACHE_ENV = "REPRO_COVERAGE_CACHE"
+SPILL_DIR_ENV = env.BITMAP_SPILL_DIR.name
 
 STORAGE_MODES = ("auto", "ram", "memmap", "none")
 
@@ -69,7 +65,7 @@ DEFAULT_SHARD_BYTES = 64 * 1024 * 1024
 def resolve_storage(storage: str | None) -> str:
     """Effective storage mode: explicit argument, else environment, else auto."""
     if storage is None:
-        storage = os.environ.get(STORAGE_ENV) or "auto"
+        storage = env.BITMAP_STORAGE.raw() or "auto"
     storage = storage.strip().lower()
     if storage not in STORAGE_MODES:
         raise ValueError(
@@ -87,10 +83,10 @@ def resolve_spill_dir(spill_dir: str | os.PathLike | None = None) -> Path | None
     """
     if spill_dir is not None:
         return Path(spill_dir)
-    from_env = os.environ.get(SPILL_DIR_ENV)
+    from_env = env.BITMAP_SPILL_DIR.raw()
     if from_env:
         return Path(from_env)
-    cache_dir = os.environ.get(_COVERAGE_CACHE_ENV)
+    cache_dir = env.COVERAGE_CACHE.raw()
     if cache_dir:
         return Path(cache_dir) / "bitmap-shards"
     return None

@@ -25,14 +25,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import obs
+from repro import env, obs
 from repro.billboard import bitmap_store
 from repro.billboard.influence import CoverageIndex, _resolve_bitmap_budget_mb
 from repro.billboard.model import BillboardDB
 from repro.trajectory.model import TrajectoryDB
 
 #: Environment variable naming the cache directory (unset = caching off).
-CACHE_ENV = "REPRO_COVERAGE_CACHE"
+CACHE_ENV = env.COVERAGE_CACHE.name
 
 #: Bumped whenever the meet-test semantics or the file layout change, so a
 #: stale cache can never leak wrong coverage into an experiment.  v2 added
@@ -47,7 +47,7 @@ def resolve_cache_dir(cache_dir: str | os.PathLike | None = None) -> Path | None
     """The effective cache directory: explicit argument, else environment."""
     if cache_dir is not None:
         return Path(cache_dir)
-    from_env = os.environ.get(CACHE_ENV)
+    from_env = env.COVERAGE_CACHE.raw()
     return Path(from_env) if from_env else None
 
 

@@ -67,7 +67,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import env, obs
 from repro.billboard import bitmap_store, popcount_jit
 from repro.billboard.bitmap_store import BitmapStore
 from repro.billboard.model import BillboardDB
@@ -77,11 +77,11 @@ from repro.trajectory.model import TrajectoryDB
 from repro.utils import bitset
 
 #: Environment variable holding the bitmap memory budget in megabytes.
-BITMAP_BUDGET_ENV = "REPRO_BITMAP_BUDGET_MB"
+BITMAP_BUDGET_ENV = env.BITMAP_BUDGET_MB.name
 
 #: Environment variable holding the default ingestion chunk size (in
 #: trajectories) for coverage builds; unset = single-shot build.
-CHUNK_SIZE_ENV = "REPRO_COVERAGE_CHUNK_SIZE"
+CHUNK_SIZE_ENV = env.COVERAGE_CHUNK_SIZE.name
 
 #: Default bitmap memory budget (megabytes) when neither the constructor
 #: argument nor the environment variable is set.
@@ -95,7 +95,7 @@ _PACK_CHUNK_BYTES = 64 * 1024 * 1024
 def _resolve_bitmap_budget_mb(bitmap_budget_mb: float | None) -> float:
     if bitmap_budget_mb is not None:
         return float(bitmap_budget_mb)
-    raw = os.environ.get(BITMAP_BUDGET_ENV)
+    raw = env.BITMAP_BUDGET_MB.raw()
     if raw is not None:
         try:
             return float(raw)
@@ -113,7 +113,7 @@ def _resolve_chunk_size(chunk_size: int | None) -> int | None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         return chunk_size
-    raw = os.environ.get(CHUNK_SIZE_ENV)
+    raw = env.COVERAGE_CHUNK_SIZE.raw()
     if raw is None or not raw.strip():
         return None
     try:

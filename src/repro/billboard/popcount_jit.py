@@ -20,16 +20,12 @@ numba is strictly optional:
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
-from repro import obs
+from repro import env, obs
 
 #: Environment variable opting in to the numba-compiled popcount path.
-NUMBA_ENV = "REPRO_NUMBA"
-
-_TRUE_VALUES = {"1", "true", "yes", "on"}
+NUMBA_ENV = env.NUMBA.name
 
 # SWAR popcount constants (Hacker's Delight §5-1).  The jitted kernels and
 # the numpy reference below use exactly these, so equality of the reference
@@ -45,7 +41,7 @@ _resolved = False
 
 def requested() -> bool:
     """Whether ``REPRO_NUMBA`` opts in to the compiled path."""
-    return os.environ.get(NUMBA_ENV, "").strip().lower() in _TRUE_VALUES
+    return bool(env.NUMBA.get())
 
 
 def reset() -> None:
@@ -72,7 +68,7 @@ def get_kernels():
                     "%s=%s requested the compiled popcount path but numba is "
                     "not importable; falling back to the numpy kernels",
                     NUMBA_ENV,
-                    os.environ.get(NUMBA_ENV),
+                    env.NUMBA.raw(),
                 )
                 obs.counter_add("influence.numba.unavailable")
     return _kernels

@@ -14,7 +14,7 @@ import argparse
 import os
 import sys
 
-from repro import obs
+from repro import env, obs
 from repro.billboard import bitmap_store, influence
 from repro.datasets import example1_instance, example1_strategy1, example1_strategy2, generate_city
 from repro.experiments.configs import (
@@ -176,8 +176,8 @@ def _obs_begin(args: argparse.Namespace) -> bool:
     ledger = getattr(args, "ledger", None)
     if ledger is not None:
         os.environ[obs.LEDGER_ENV] = ledger
-    trace_out = getattr(args, "trace_out", None) or os.environ.get(obs.TRACE_ENV)
-    out = args.obs_out or os.environ.get(obs.OBS_OUT_ENV)
+    trace_out = getattr(args, "trace_out", None) or env.OBS_TRACE.raw()
+    out = args.obs_out or env.OBS_OUT.raw()
     if trace_out is not None:
         obs.trace_enable(out=trace_out)
     if out is None and trace_out is None and not args.obs_summary:
@@ -311,16 +311,30 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     if args.validate:
         import json
 
+        from repro.lint.findings import findings_payload, problems_to_findings
+
         data = json.loads(open(args.path).read())
         problems = obs.validate_chrome_trace(data)
-        if problems:
-            for problem in problems:
-                print(f"invalid: {problem}", file=sys.stderr)
+        findings = problems_to_findings("trace-schema", args.path, problems)
+        if getattr(args, "as_json", False):
+            # Same findings schema as `repro lint --json`, so one consumer
+            # reads both checkers.
+            print(json.dumps(findings_payload("repro-obs-validate", findings), indent=2))
+            return 1 if findings else 0
+        if findings:
+            for finding in findings:
+                print(f"invalid: {finding.message}", file=sys.stderr)
             return 1
         print(f"{args.path}: valid Chrome trace "
               f"({len(data.get('traceEvents', []))} events)")
     print(obs.render_report(args.path))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -369,7 +383,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="schema-check a Chrome trace first; exit 1 on violations",
     )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="with --validate, emit the shared findings JSON schema "
+        "(same shape as `repro lint --json`)",
+    )
     report.set_defaults(func=_cmd_obs_report)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="invariant linter: determinism, shm lifecycle, obs naming, "
+        "env-knob registry, kernel contracts (DESIGN.md §14)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,47 @@
+"""``repro.lint`` — the stdlib-only invariant linter.
+
+Static (``ast``-based) enforcement of the contracts the reproduction's
+correctness and performance guarantees rest on: determinism of kernels and
+reductions, exactly-once shared-memory lifecycles, the obs name taxonomy,
+the central env-knob registry, bit-identity test coverage, and
+telemetry-free tight loops.  See ``DESIGN.md`` §14 for the taxonomy and
+``repro lint --list-rules`` for the shipped rule set.
+"""
+
+from repro.lint.core import (
+    BASELINE_FILENAME,
+    RULES,
+    LintContext,
+    LintResult,
+    SourceFile,
+    iter_source_files,
+    lint_file,
+    load_baseline,
+    rule,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.findings import (
+    FINDINGS_SCHEMA,
+    Finding,
+    findings_payload,
+    problems_to_findings,
+)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "FINDINGS_SCHEMA",
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "RULES",
+    "SourceFile",
+    "findings_payload",
+    "iter_source_files",
+    "lint_file",
+    "load_baseline",
+    "problems_to_findings",
+    "rule",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,133 @@
+"""The ``repro lint`` verb (also reachable as ``scripts/lint_invariants.py``).
+
+Exit status: 0 when every finding is suppressed or baselined, 1 otherwise.
+``--json`` emits the shared findings schema (see
+:mod:`repro.lint.findings`); ``--write-baseline`` grandfathers the current
+findings — policy in DESIGN.md §14: baseline deliberate debt only, fix or
+suppress everything else at the call site.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.core import (
+    BASELINE_FILENAME,
+    RULES,
+    LintResult,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.findings import findings_payload
+
+
+def default_root() -> Path:
+    """The repo root: the directory holding ``src/`` of this installation."""
+    return Path(__file__).resolve().parents[3]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files to lint (default: src/, scripts/, benchmarks/, examples/)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root (default: auto-detected from the package location)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the shared findings JSON schema instead of text",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report baselined findings as failures too",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    from repro.lint import rules as _rules  # noqa: F401  (register shipped rules)
+
+    if args.list_rules:
+        for rule_id, (doc, _) in sorted(RULES.items()):
+            print(f"{rule_id:<16} {doc}")
+        return 0
+    root = Path(args.root).resolve() if args.root else default_root()
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / BASELINE_FILENAME
+    )
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    result = run_lint(root, paths=paths, baseline=baseline, rule_ids=args.rules)
+    if args.write_baseline:
+        write_baseline(result.new + result.baselined, baseline_path)
+        print(
+            f"wrote {baseline_path} "
+            f"({len(result.new) + len(result.baselined)} finding(s) grandfathered)"
+        )
+        return 0
+    return report(result, as_json=args.as_json)
+
+
+def report(result: LintResult, as_json: bool = False) -> int:
+    if as_json:
+        payload = findings_payload(
+            "repro-lint",
+            result.new,
+            baselined=len(result.baselined),
+            files_checked=result.files_checked,
+        )
+        print(json.dumps(payload, indent=2))
+        return 0 if result.ok else 1
+    for finding in result.new:
+        print(finding.render())
+    summary = (
+        f"{len(result.new)} finding(s), {len(result.baselined)} baselined, "
+        f"{result.files_checked} file(s) checked"
+    )
+    if result.stale_baseline:
+        summary += f", {result.stale_baseline} stale baseline entr(y/ies)"
+    print(("FAIL: " if not result.ok else "ok: ") + summary)
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description=__doc__.split("\n", 1)[0]
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

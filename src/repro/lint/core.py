@@ -1,0 +1,256 @@
+"""The invariant-linter framework: rule registry, walker, suppressions,
+baseline.
+
+Stdlib-``ast`` only — the container ships no third-party linters.  A *rule*
+is a function ``(context, source_file) -> iterable[(line, col, message)]``
+registered under a kebab-case id; the runner turns its tuples into
+:class:`~repro.lint.findings.Finding` records, drops any suppressed by an
+inline ``# repro-lint: ignore[rule-id]`` comment, and splits the rest into
+*baselined* (grandfathered in the committed baseline file) and *new*.
+
+See ``DESIGN.md`` §14 for the rule taxonomy and the policy on suppressions
+vs. baseline entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.lint.findings import Finding
+
+#: Baseline file name, at the repo root, committed.
+BASELINE_FILENAME = "lint_baseline.json"
+
+#: Schema tag of the baseline file.
+BASELINE_SCHEMA = "repro-lint-baseline-v1"
+
+#: Directories linted by default, relative to the repo root.
+DEFAULT_TARGETS = ("src", "scripts", "benchmarks", "examples")
+
+#: ``# repro-lint: ignore`` or ``# repro-lint: ignore[rule-a, rule-b]``,
+#: optionally followed by free-text rationale.  ``ignore-file`` variants
+#: suppress the rule(s) for the whole file from any line.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>ignore(?:-file)?)(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source under lint."""
+
+    path: Path
+    rel: str  # repo-relative, posix-style — what findings report
+    text: str
+    tree: ast.AST
+    #: line -> set of suppressed rule ids ("*" = all rules on that line)
+    line_suppressions: dict[int, set] = field(default_factory=dict)
+    #: rule ids suppressed for the entire file ("*" = every rule)
+    file_suppressions: set = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, rel: str) -> "SourceFile | None":
+        try:
+            text = path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=rel)
+        except (OSError, SyntaxError, ValueError):
+            return None  # unreadable / unparsable files are compileall's job
+        source = cls(path=path, rel=rel, text=text, tree=tree)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            rules = match.group("rules")
+            ids = (
+                {rule.strip() for rule in rules.split(",") if rule.strip()}
+                if rules
+                else {"*"}
+            )
+            if match.group("kind") == "ignore-file":
+                source.file_suppressions |= ids
+            else:
+                source.line_suppressions.setdefault(lineno, set()).update(ids)
+        return source
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if self.file_suppressions & {"*", rule_id}:
+            return True
+        at_line = self.line_suppressions.get(line)
+        return bool(at_line and at_line & {"*", rule_id})
+
+
+@dataclass
+class LintContext:
+    """Cross-file state shared by every rule invocation of one run."""
+
+    root: Path
+    _test_corpus: str | None = None
+
+    def test_corpus(self) -> str:
+        """Concatenated text of every test module under ``root/tests``.
+
+        Built lazily (only the kernel-contract rule needs it) and cached for
+        the run.  Substring search over it answers "is this function name
+        referenced by any test?".
+        """
+        if self._test_corpus is None:
+            pieces = []
+            tests = self.root / "tests"
+            if tests.is_dir():
+                for path in sorted(tests.rglob("*.py")):
+                    try:
+                        pieces.append(path.read_text(encoding="utf-8"))
+                    except OSError:  # pragma: no cover - racing deletion
+                        continue
+            self._test_corpus = "\n".join(pieces)
+        return self._test_corpus
+
+
+#: rule id -> (one-line doc, check function)
+RULES: dict[str, tuple[str, Callable]] = {}
+
+
+def rule(rule_id: str, doc: str):
+    """Register a rule: ``(context, source_file) -> iterable[(line, col,
+    message)]``.  Ids are kebab-case and unique."""
+
+    def decorate(check: Callable) -> Callable:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate lint rule id: {rule_id}")
+        RULES[rule_id] = (doc, check)
+        return check
+
+    return decorate
+
+
+def iter_source_files(root: Path, targets: Iterable[str] = DEFAULT_TARGETS) -> Iterator[Path]:
+    """Every ``.py`` file under the target directories, sorted, skipping
+    caches."""
+    for target in targets:
+        base = root / target
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            yield path
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, split by baseline membership."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    files_checked: int
+    stale_baseline: int  # baseline entries that no longer match anything
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def load_baseline(path: Path) -> set:
+    """The committed baseline as a set of :meth:`Finding.baseline_key` tuples.
+
+    A missing file is an empty baseline; a malformed one is an error — a
+    silently ignored baseline would un-grandfather every finding at once.
+    """
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown baseline schema {data.get('schema')!r} "
+            f"(expected {BASELINE_SCHEMA})"
+        )
+    return {
+        (entry["rule"], entry["path"], entry["message"])
+        for entry in data.get("entries", [])
+    }
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    """Write (sorted, deduplicated) baseline entries for ``findings``."""
+    keys = sorted({finding.baseline_key() for finding in findings})
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"rule": rule_id, "path": rel, "message": message}
+            for rule_id, rel, message in keys
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def lint_file(context: LintContext, source: SourceFile, rule_ids=None) -> list[Finding]:
+    """All unsuppressed findings of every (selected) rule on one file."""
+    findings = []
+    for rule_id, (_, check) in RULES.items():
+        if rule_ids is not None and rule_id not in rule_ids:
+            continue
+        for line, col, message in check(context, source):
+            if source.suppressed(rule_id, line):
+                continue
+            findings.append(
+                Finding(path=source.rel, line=line, col=col, rule=rule_id, message=message)
+            )
+    return findings
+
+
+def run_lint(
+    root: Path,
+    paths: Iterable[Path] | None = None,
+    baseline: set | None = None,
+    rule_ids=None,
+) -> LintResult:
+    """Lint ``paths`` (default: every target directory under ``root``).
+
+    ``baseline`` defaults to the committed ``lint_baseline.json`` at the
+    root.  Importing :mod:`repro.lint.rules` (done here) registers the
+    shipped rules; callers that registered extras get those too.
+    """
+    from repro.lint import rules as _rules  # noqa: F401  (registration import)
+
+    if rule_ids is not None:
+        unknown = sorted(set(rule_ids) - set(RULES))
+        if unknown:
+            raise KeyError(f"unknown lint rule id(s): {', '.join(unknown)}")
+    root = Path(root).resolve()
+    if baseline is None:
+        baseline = load_baseline(root / BASELINE_FILENAME)
+    if paths is None:
+        paths = iter_source_files(root)
+    context = LintContext(root=root)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    matched_keys = set()
+    files_checked = 0
+    for path in paths:
+        path = Path(path).resolve()
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        source = SourceFile.parse(path, rel)
+        if source is None:
+            continue
+        files_checked += 1
+        for finding in lint_file(context, source, rule_ids=rule_ids):
+            key = finding.baseline_key()
+            if key in baseline:
+                matched_keys.add(key)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+    return LintResult(
+        new=sorted(new),
+        baselined=sorted(baselined),
+        files_checked=files_checked,
+        stale_baseline=len(baseline - matched_keys),
+    )

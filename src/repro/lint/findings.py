@@ -1,0 +1,64 @@
+"""Findings: the one machine-readable schema every repo checker emits.
+
+``repro lint --json``, ``scripts/lint_invariants.py --json``, and
+``repro obs report --validate --json`` all serialize through
+:func:`findings_payload`, so tooling that consumes one consumes all —
+a finding is always ``{rule, path, line, col, message}`` inside a
+``{schema, tool, count, findings}`` envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Schema tag stamped on every findings payload so readers can migrate.
+FINDINGS_SCHEMA = "repro-findings-v1"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One checker diagnosis, anchored to a source (or artifact) location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity for baseline matching: line numbers deliberately excluded
+        so unrelated edits above a grandfathered finding do not churn the
+        baseline file."""
+        return (self.rule, self.path, self.message)
+
+
+def findings_payload(tool: str, findings: list[Finding], **extra) -> dict:
+    """The shared JSON envelope (sorted, deterministic)."""
+    return {
+        "schema": FINDINGS_SCHEMA,
+        "tool": tool,
+        "count": len(findings),
+        "findings": [finding.as_dict() for finding in sorted(findings)],
+        **extra,
+    }
+
+
+def problems_to_findings(rule: str, path: str, problems: list[str]) -> list[Finding]:
+    """Wrap plain problem strings (e.g. Chrome-trace schema violations) as
+    findings anchored to the artifact itself."""
+    return [
+        Finding(path=str(path), line=0, col=0, rule=rule, message=problem)
+        for problem in problems
+    ]

@@ -21,9 +21,11 @@ import subprocess
 import time
 from pathlib import Path
 
+from repro import env
+
 #: Environment variable naming the ledger path; the harness and bench
 #: scripts append to it whenever it is set.
-LEDGER_ENV = "REPRO_OBS_LEDGER"
+LEDGER_ENV = env.OBS_LEDGER.name
 
 #: Schema tag stamped on every record so readers can migrate old ledgers.
 SCHEMA = "obs-ledger-v1"
@@ -54,13 +56,13 @@ def git_commit() -> str:
 
 def ledger_path() -> Path | None:
     """The configured ledger path (``REPRO_OBS_LEDGER``), if any."""
-    path = os.environ.get(LEDGER_ENV)
+    path = env.OBS_LEDGER.raw()
     return Path(path) if path else None
 
 
 def enabled() -> bool:
     """Whether ledger appends are configured in this process."""
-    return LEDGER_ENV in os.environ and bool(os.environ[LEDGER_ENV])
+    return env.OBS_LEDGER.is_set()
 
 
 def instance_features(instance) -> dict:

@@ -42,16 +42,18 @@ import math
 import os
 import time
 
+from repro import env
+
 #: Environment variable naming the JSONL run-event output path.  Read by the
 #: CLI and the benchmark script (not at import time): setting it enables
 #: collection and directs :func:`repro.obs.sink.write_jsonl` output.
-OBS_OUT_ENV = "REPRO_OBS_OUT"
+OBS_OUT_ENV = env.OBS_OUT.name
 
 #: Environment variable naming the directory where pool worker processes
 #: spill their final unshipped snapshot at teardown (see
 #: :func:`repro.obs.trace.flush_worker_spill`).  Exported automatically when
 #: an output path is configured, so forked workers inherit it.
-SPILL_DIR_ENV = "REPRO_OBS_SPILL_DIR"
+SPILL_DIR_ENV = env.OBS_SPILL_DIR.name
 
 #: Histogram bucket width: 8 log-scale buckets per octave (ratio 2^(1/8) ≈
 #: 1.09), bounding quantile estimates to within ~9% of the true value.

@@ -48,12 +48,13 @@ import time
 import uuid
 from pathlib import Path
 
+from repro import env
 from repro.obs import registry as _registry
 from repro.obs.registry import SPILL_DIR_ENV, _STATE
 
 #: Environment variable naming the Chrome-trace output path; setting it
 #: enables tracing (read by the CLI and the bench scripts, not at import).
-TRACE_ENV = "REPRO_OBS_TRACE"
+TRACE_ENV = env.OBS_TRACE.name
 
 #: Minimum seconds between two boundary samples of the RSS/kernel counters.
 _SAMPLE_INTERVAL_S = 0.05
@@ -280,7 +281,7 @@ def flush_worker_spill() -> Path | None:
     a no-op.
     """
     global _SPILLED
-    spill_dir = os.environ.get(SPILL_DIR_ENV)
+    spill_dir = env.OBS_SPILL_DIR.raw()
     if not spill_dir:
         return None
     snapshot = _registry.take_snapshot(reset_after=True)
@@ -315,7 +316,7 @@ def collect_spills() -> int:
     for out in (_STATE.trace_out, _STATE.out_path, None):
         if out is not None:
             directories.add(f"{out}.spill")
-    env_dir = os.environ.get(SPILL_DIR_ENV)
+    env_dir = env.OBS_SPILL_DIR.raw()
     if env_dir:
         directories.add(env_dir)
     consumed = 0

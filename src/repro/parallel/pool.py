@@ -44,7 +44,7 @@ import os
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 
-from repro import obs
+from repro import env, obs
 from repro.billboard.influence import CoverageIndex
 from repro.core.problem import MROAMInstance
 
@@ -52,7 +52,7 @@ from repro.core.problem import MROAMInstance
 #: Environment variable lifting the CPU-affinity cap on worker counts.
 #: Tracing runs set it so multi-pid traces exist even on 1-CPU containers;
 #: performance runs should leave it unset.
-OVERSUBSCRIBE_ENV = "REPRO_POOL_OVERSUBSCRIBE"
+OVERSUBSCRIBE_ENV = env.POOL_OVERSUBSCRIBE.name
 
 
 def effective_workers(requested: int) -> int:
@@ -62,7 +62,7 @@ def effective_workers(requested: int) -> int:
     cap — useful when the point of the pool is attribution rather than
     speed, e.g. tracing worker behaviour on a single-CPU CI runner.
     """
-    if os.environ.get(OVERSUBSCRIBE_ENV):
+    if env.POOL_OVERSUBSCRIBE.is_set():
         return max(1, int(requested))
     try:
         available = len(os.sched_getaffinity(0))

@@ -217,7 +217,7 @@ def _local_search_restart_batch(instance: MROAMInstance, payload: tuple) -> dict
 
     params, seed_batches = payload
     obs.histogram_observe("pool.task.batch", float(len(seed_batches)))
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: ignore[determinism] telemetry-only clock
     restarts: list[dict] = []
     winner = -1
     winner_regret = math.inf
@@ -234,7 +234,7 @@ def _local_search_restart_batch(instance: MROAMInstance, payload: tuple) -> dict
         "restarts": restarts,
         "winner": winner,
         "owners": owners,
-        "task_seconds": time.perf_counter() - started,
+        "task_seconds": time.perf_counter() - started,  # repro-lint: ignore[determinism] telemetry-only clock
     }
 
 
@@ -313,7 +313,7 @@ def _annealing_chain_batch(instance: MROAMInstance, payload: tuple) -> dict:
 
     steps, initial_temperature, cooling, seeds = payload
     obs.histogram_observe("pool.task.batch", float(len(seeds)))
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: ignore[determinism] telemetry-only clock
     chains: list[dict] = []
     winner = -1
     winner_regret = math.inf
@@ -330,7 +330,7 @@ def _annealing_chain_batch(instance: MROAMInstance, payload: tuple) -> dict:
         "chains": chains,
         "winner": winner,
         "owners": owners,
-        "task_seconds": time.perf_counter() - started,
+        "task_seconds": time.perf_counter() - started,  # repro-lint: ignore[determinism] telemetry-only clock
     }
 
 

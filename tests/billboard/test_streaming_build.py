@@ -13,6 +13,8 @@ import pytest
 from repro.billboard.influence import (
     CHUNK_SIZE_ENV,
     CoverageIndex,
+    _CorpusChunk,
+    _join_chunk,
     build_coverage,
 )
 from repro.datasets import generate_city
@@ -145,3 +147,40 @@ class TestNycStream:
         assert np.array_equal(
             first.billboards.locations, second.billboards.locations
         )
+
+
+class TestJoinChunkBitIdentity:
+    """Direct contract test for the shared radius-join step.
+
+    ``_join_chunk`` is the single primitive both the one-shot and streaming
+    builds call; its docstring claims chunk boundaries cannot change any
+    (billboard, trajectory) coverage decision.  Joining the corpus as one
+    chunk must therefore equal the concatenation of per-chunk joins with
+    local ids shifted back to global ids — for every split point.
+    """
+
+    @pytest.mark.parametrize("exact_segments", [False, True])
+    @pytest.mark.parametrize("split", [1, 13, 39])
+    def test_split_join_matches_single_join(self, city, split, exact_segments):
+        locations = city.billboards.locations
+        n = len(locations)
+        trajectories = city.trajectories
+        whole = _CorpusChunk(trajectories.all_points, trajectories.point_counts)
+        single = _join_chunk(locations, whole, n, 100.0, exact_segments)
+
+        counts = trajectories.point_counts
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        parts = []
+        for start, stop in ((0, split), (split, len(trajectories))):
+            chunk = _CorpusChunk(
+                trajectories.all_points[bounds[start] : bounds[stop]],
+                counts[start:stop],
+            )
+            covered = _join_chunk(locations, chunk, n, 100.0, exact_segments)
+            parts.append([ids + start for ids in covered])
+
+        for billboard_id in range(n):
+            merged = np.concatenate(
+                [part[billboard_id] for part in parts]
+            ).astype(np.int64)
+            assert np.array_equal(single[billboard_id], merged)

@@ -1,0 +1,256 @@
+"""Linter framework: suppressions, baseline round-trips, CLI, JSON schema.
+
+The meta-tests at the bottom pin the two repo-level guarantees: the
+committed tree lints clean (zero non-baselined findings), and the README
+env-knob table matches the ``repro.env`` registry.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    FINDINGS_SCHEMA,
+    Finding,
+    findings_payload,
+    load_baseline,
+    problems_to_findings,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.cli import default_root, main
+
+CLOCK_SNIPPET = """\
+import time
+
+
+def f():
+    return time.perf_counter()
+"""
+
+
+def write_module(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestSuppressions:
+    def test_line_suppression_hides_only_its_line(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/algorithms/mod.py",
+            """\
+            import time
+
+
+            def f():
+                a = time.perf_counter()  # repro-lint: ignore[determinism] pinned
+                b = time.perf_counter()
+                return a, b
+            """,
+        )
+        result = run_lint(tmp_path, paths=[path], rule_ids=["determinism"])
+        assert [(f.rule, f.line) for f in result.new] == [("determinism", 6)]
+
+    def test_bare_ignore_suppresses_every_rule_on_the_line(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/algorithms/mod.py",
+            """\
+            import time
+
+
+            def f():
+                return time.perf_counter()  # repro-lint: ignore
+            """,
+        )
+        assert run_lint(tmp_path, paths=[path]).new == []
+
+    def test_file_suppression_covers_every_line(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/algorithms/mod.py",
+            """\
+            # repro-lint: ignore-file[determinism] bench-only module
+            import time
+
+
+            def f():
+                return time.perf_counter()
+            """,
+        )
+        assert run_lint(tmp_path, paths=[path]).new == []
+
+    def test_suppression_for_other_rule_does_not_hide(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/algorithms/mod.py",
+            """\
+            import time
+
+
+            def f():
+                return time.perf_counter()  # repro-lint: ignore[obs-guard]
+            """,
+        )
+        result = run_lint(tmp_path, paths=[path], rule_ids=["determinism"])
+        assert len(result.new) == 1
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_findings(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/algorithms/mod.py", CLOCK_SNIPPET)
+        first = run_lint(tmp_path, paths=[path])
+        assert len(first.new) == 1
+
+        baseline_path = tmp_path / "lint_baseline.json"
+        write_baseline(first.new, baseline_path)
+        second = run_lint(
+            tmp_path, paths=[path], baseline=load_baseline(baseline_path)
+        )
+        assert second.new == []
+        assert [f.rule for f in second.baselined] == ["determinism"]
+        assert second.ok
+
+    def test_baseline_key_survives_line_shifts(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/algorithms/mod.py", CLOCK_SNIPPET)
+        baseline_path = tmp_path / "lint_baseline.json"
+        write_baseline(run_lint(tmp_path, paths=[path]).new, baseline_path)
+
+        # Shift the finding down two lines; the (rule, path, message) key
+        # still matches, so edits above a grandfathered finding don't churn.
+        write_module(
+            tmp_path, "src/repro/algorithms/mod.py", "# padding\n# more\n" + CLOCK_SNIPPET
+        )
+        shifted = run_lint(
+            tmp_path, paths=[path], baseline=load_baseline(baseline_path)
+        )
+        assert shifted.new == []
+        assert len(shifted.baselined) == 1
+
+    def test_stale_entries_are_counted(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/algorithms/mod.py", CLOCK_SNIPPET)
+        baseline_path = tmp_path / "lint_baseline.json"
+        write_baseline(run_lint(tmp_path, paths=[path]).new, baseline_path)
+
+        write_module(tmp_path, "src/repro/algorithms/mod.py", "x = 1\n")
+        result = run_lint(
+            tmp_path, paths=[path], baseline=load_baseline(baseline_path)
+        )
+        assert result.new == [] and result.baselined == []
+        assert result.stale_baseline == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "lint_baseline.json"
+        bad.write_text('{"schema": "something-else", "entries": []}')
+        with pytest.raises(ValueError, match="unknown baseline schema"):
+            load_baseline(bad)
+
+
+class TestFindingsSchema:
+    def test_payload_shape(self):
+        finding = Finding(
+            path="src/repro/x.py", line=3, col=7, rule="determinism", message="m"
+        )
+        payload = findings_payload("repro-lint", [finding], files_checked=1)
+        assert payload["schema"] == FINDINGS_SCHEMA
+        assert payload["tool"] == "repro-lint"
+        assert payload["count"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["findings"] == [
+            {
+                "rule": "determinism",
+                "path": "src/repro/x.py",
+                "line": 3,
+                "col": 7,
+                "message": "m",
+            }
+        ]
+
+    def test_render_format(self):
+        finding = Finding(
+            path="src/repro/x.py", line=3, col=7, rule="determinism", message="m"
+        )
+        assert finding.render() == "src/repro/x.py:3:7: [determinism] m"
+
+    def test_trace_problems_share_the_schema(self):
+        findings = problems_to_findings("trace-schema", "t.json", ["p1", "p2"])
+        payload = findings_payload("repro-obs-validate", findings)
+        assert payload["schema"] == FINDINGS_SCHEMA
+        assert payload["count"] == 2
+        assert {f["rule"] for f in payload["findings"]} == {"trace-schema"}
+
+
+class TestCli:
+    def test_json_output_and_exit_codes(self, tmp_path, capsys):
+        write_module(tmp_path, "src/repro/algorithms/mod.py", CLOCK_SNIPPET)
+        assert main(["--root", str(tmp_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == FINDINGS_SCHEMA
+        assert payload["tool"] == "repro-lint"
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "determinism"
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        write_module(tmp_path, "src/repro/algorithms/mod.py", CLOCK_SNIPPET)
+        assert main(["--root", str(tmp_path), "--write-baseline"]) == 0
+        assert (tmp_path / "lint_baseline.json").exists()
+        capsys.readouterr()
+        assert main(["--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s), 1 baselined" in out
+
+    def test_no_baseline_flag_reexposes(self, tmp_path, capsys):
+        write_module(tmp_path, "src/repro/algorithms/mod.py", CLOCK_SNIPPET)
+        main(["--root", str(tmp_path), "--write-baseline"])
+        capsys.readouterr()
+        assert main(["--root", str(tmp_path), "--no-baseline"]) == 1
+
+    def test_list_rules_names_all_shipped_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "determinism",
+            "shm-lifecycle",
+            "obs-naming",
+            "env-registry",
+            "kernel-contract",
+            "obs-guard",
+        ):
+            assert rule_id in out
+
+
+class TestRepoIsClean:
+    def test_committed_tree_has_zero_new_findings(self):
+        result = run_lint(default_root())
+        assert result.new == [], "\n".join(f.render() for f in result.new)
+        assert result.stale_baseline == 0
+
+    def test_env_docs_table_matches_registry(self):
+        root = default_root()
+        proc = subprocess.run(
+            [sys.executable, str(root / "scripts" / "gen_env_docs.py"), "--check"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_canary_proves_every_rule_fires(self):
+        root = default_root()
+        proc = subprocess.run(
+            [sys.executable, str(root / "scripts" / "lint_canary.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
