@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-scale bench-scale-smoke lint lint-canary obs-demo trace-smoke
+.PHONY: test bench-smoke bench bench-scale bench-scale-smoke bench-quotes bench-quotes-smoke lint lint-canary obs-demo trace-smoke
 
 ## Tier-1 test suite (also runs the benchmark script's smoke mode, see
 ## tests/experiments/test_parallel_harness.py).
@@ -37,6 +37,20 @@ bench-scale:
 ## The 10^4 tier only — seconds-fast CI wiring for the scale sweep.
 bench-scale-smoke:
 	$(PYTHON) scripts/bench_scale.py --smoke --output /tmp/BENCH_scale_smoke.json
+
+## Quote-throughput benchmark: the journaled incremental pricing path vs the
+## from-scratch path over a deep standing book, bit-identity asserted on every
+## overlapping quote.  Appends to BENCH_quotes.json, gates timing regressions
+## >15%, and fails below a 10x incremental speedup (DESIGN.md §15).
+bench-quotes:
+	$(PYTHON) scripts/bench_quotes.py --output BENCH_quotes.json \
+		--assert-speedup 10 --gate-regression
+
+## Seconds-fast quotes pass on a tiny city — CI wiring for the full bench.
+## No speedup floor: the smoke book is too shallow for the O(book) / O(delta)
+## asymmetry to show a stable multiple.
+bench-quotes-smoke:
+	$(PYTHON) scripts/bench_quotes.py --smoke --output /tmp/BENCH_quotes_smoke.json
 
 ## Static checks, all stdlib-only (the container ships no third-party
 ## linter): bytecode compilation, the repro invariant linter (DESIGN.md §14),

@@ -67,13 +67,19 @@ def best_marginal_billboard(
     candidate_ids = candidate_ids[usable]
     individual = individual[usable]
 
-    masks = allocation.packed_masks(advertiser_id)
-    gains = coverage.batch_add_gains(
-        allocation.counts_row(advertiser_id),
-        free_bits=masks[0] if masks is not None else None,
-        candidate_ids=candidate_ids,
-    )
     current_influence = allocation.influence(advertiser_id)
+    if current_influence == 0:
+        # An empty counter row (influence 0 ⇒ all counts 0) makes every
+        # candidate's gain exactly its individual influence — the common case
+        # for a quoting newcomer, where this skips the batch coverage pass.
+        gains = individual
+    else:
+        masks = allocation.packed_masks(advertiser_id)
+        gains = coverage.batch_add_gains(
+            allocation.counts_row(advertiser_id),
+            free_bits=masks[0] if masks is not None else None,
+            candidate_ids=candidate_ids,
+        )
     current_regret = instance.regret_of(advertiser_id, current_influence)
     new_regrets = _regret_values_unchecked(
         advertiser.payment, advertiser.demand, instance.gamma, current_influence + gains

@@ -614,6 +614,8 @@ def _dirty_engine(
     stats: dict | None,
     restrict_scans: bool = True,
     screen_workers: int | None = None,
+    state: BillboardSweepState | None = None,
+    final_verify: bool = True,
 ) -> Allocation:
     """The dirty-set sweep loop (see module docstring and DESIGN.md §9–10).
 
@@ -634,9 +636,18 @@ def _dirty_engine(
     across the instance's persistent worker pool (DESIGN.md §13) — verdicts
     only; surviving exchanges are still replayed serially here, so the
     accepted move sequence is unchanged.
+
+    ``state`` lets a caller carry version certificates across invocations
+    (the incremental quoting engine, DESIGN.md §15).  Sound only when the
+    allocation is byte-identical to where the certificates were earned —
+    which the journal's rollback guarantees; a cold run on the same
+    allocation takes the identical move sequence because every warm skip is
+    backed by a proof that the cold scan would return ``None`` there.
     """
     instance = allocation.instance
-    state = BillboardSweepState(instance.num_advertisers, instance.num_billboards)
+    if state is None:
+        state = BillboardSweepState(instance.num_advertisers, instance.num_billboards)
+    journaled = bool(getattr(allocation, "journaling", False))
     sweeps = 0
     exchanges = 0
     releases = 0
@@ -664,21 +675,50 @@ def _dirty_engine(
         # the PR-3 loop, preserved as the benchmark baseline.
         planner = (
             ScreenRoundPlanner(
-                allocation, state, min_improvement, verifying, screen_workers, track
+                allocation,
+                state,
+                min_improvement,
+                verifying,
+                screen_workers,
+                track,
+                # Warm quote repairs (trusted termination on a settled state)
+                # expect few or no moves per sweep: screen the whole frontier
+                # in one eager round instead of doubling up from one row.
+                # Cold solves keep the adaptive doubling — their early sweeps
+                # are move-heavy and eager rounds would screen rows a move is
+                # about to invalidate.
+                eager_rounds=not final_verify and not verifying,
             )
             if restrict_scans
             else None
         )
         for advertiser_id in range(instance.num_advertisers):
             billboard_list = sorted(allocation.billboards_of(advertiser_id))
-            for position, billboard_id in enumerate(billboard_list):
+            position = 0
+            while position < len(billboard_list):
+                billboard_id = billboard_list[position]
                 if allocation.owner_of(billboard_id) != advertiser_id:
+                    position += 1
                     continue  # already moved earlier in this sweep
                 owners = allocation.owners
                 if restrict_scans:
                     survived, screen_ids = planner.lookup(
                         advertiser_id, position, billboard_list
                     )
+                    if not survived:
+                        # The cached round covers the advertiser's remaining
+                        # screened-clear run (eager rounds cover whole warm
+                        # sweeps): certify it with one vectorized stamp
+                        # instead of one loop iteration per row.
+                        consumed, cleared = planner.clear_run(
+                            advertiser_id, position, billboard_list
+                        )
+                        if consumed:
+                            if cleared:
+                                state.certify_scans(cleared)
+                                skipped += len(cleared)
+                            position += consumed
+                            continue
                 else:
                     screen_begin = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
                     if verifying or state.own_side_stale(advertiser_id, billboard_id):
@@ -701,6 +741,7 @@ def _dirty_engine(
                 if not survived:
                     skipped += 1
                     state.certify_scan(billboard_id)
+                    position += 1
                     continue
                 scanned += 1
                 # The screened set already carries the certificate proof that
@@ -716,6 +757,7 @@ def _dirty_engine(
                 )
                 if partner is None:
                     state.certify_scan(billboard_id)
+                    position += 1
                     continue
                 partner_owner = allocation.owner_of(partner)
                 allocation.exchange_billboards(billboard_id, partner)
@@ -730,6 +772,7 @@ def _dirty_engine(
                 improved = True
                 if planner is not None:
                     planner.invalidate()  # the move invalidates the round
+                position += 1
         if planner is not None and track:
             screen_s = planner.screen_seconds
         exchange_end = time.perf_counter() if track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
@@ -774,12 +817,33 @@ def _dirty_engine(
         # allocation, so it is re-run whenever the pool is non-empty (exactly
         # like the full engine) and its adoptions mark every advertiser whose
         # set it extended.
-        if allocation.unassigned:
-            candidate = allocation.clone()
-            synchronous_greedy(candidate)
-            if candidate.total_regret() < allocation.total_regret() - min_improvement:
-                old_owners = allocation.owners.copy()
-                allocation = candidate
+        if allocation.unassigned and (verify_sweep or not state.topup_clean()):
+            # The certificate skip above is provably a rejection replay:
+            # greedy is deterministic in the allocation, so an unchanged
+            # state (version <= topup_version) reproduces the rejected
+            # candidate.  Verify sweeps re-run it unconditionally, exactly
+            # like the scan certificates.
+            before_regret = allocation.total_regret()
+            old_owners = allocation.owners.copy()
+            if journaled:
+                # In place under the journal so object identity survives (the
+                # quoting engine rolls the whole quote back through it);
+                # bit-identical to the clone path because greedy is
+                # deterministic and rollback is an exact inverse.
+                topup_mark = allocation.journal_mark()
+                synchronous_greedy(allocation)
+                adopted = (
+                    allocation.total_regret() < before_regret - min_improvement
+                )
+                if not adopted:
+                    allocation.rollback_to(topup_mark)
+            else:
+                candidate = allocation.clone()
+                synchronous_greedy(candidate)
+                adopted = candidate.total_regret() < before_regret - min_improvement
+                if adopted:
+                    allocation = candidate
+            if adopted:
                 changed = np.nonzero(old_owners != allocation.owners)[0]
                 affected = {
                     int(owner)
@@ -790,6 +854,8 @@ def _dirty_engine(
                 state.mark_move(advertisers=sorted(affected))
                 topups += 1
                 improved = True
+            else:
+                state.certify_topup()
 
         if track:
             _emit_sweep_phases(
@@ -808,6 +874,8 @@ def _dirty_engine(
             continue
         if verifying:
             break  # the unrestricted sweep found nothing: local optimum
+        if not final_verify:
+            break  # caller trusts the certificates: empty sweep = optimum
         verifying = True
 
     obs.counter_add("bls.dirty.scanned", scanned)
@@ -826,6 +894,8 @@ def billboard_driven_local_search(
     stats: dict | None = None,
     engine: str = "dirty",
     screen_workers: int | None = None,
+    state: BillboardSweepState | None = None,
+    final_verify: bool = True,
 ) -> Allocation:
     """Run Algorithm 5; returns the improved allocation (may be a new object).
 
@@ -856,9 +926,28 @@ def billboard_driven_local_search(
         therefore the accepted moves — are bit-identical to the serial
         screen (DESIGN.md §13).  ``None`` (default) keeps every round
         in-process.
+    state:
+        Optional :class:`BillboardSweepState` carried across invocations
+        (warm certificates for the incremental quoting engine, DESIGN.md
+        §15).  Only meaningful for the dirty engines; the caller must
+        guarantee the allocation matches the state the certificates were
+        earned against.
+    final_verify:
+        When ``True`` (default) a sweep that finds nothing is followed by
+        one sweep with the certificates disabled before declaring a local
+        optimum — the dirty engine's belt-and-braces mirror of the full
+        engine's terminating no-op sweep.  ``False`` trusts the
+        certificates and stops at the first empty sweep: sound because a
+        certificate only ever skips a scan proven to return ``None``, so
+        the verify sweep cannot accept a move the restricted sweep missed.
+        The incremental quoting engine passes ``False`` — its carried,
+        settled state would otherwise pay one full-inventory screen pass
+        per quote for a sweep that provably does nothing (DESIGN.md §15).
     """
     if engine not in SWEEP_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {SWEEP_ENGINES}")
+    if state is not None and engine == "full":
+        raise ValueError("a carried sweep state requires a dirty engine")
     with obs.span("bls.search", engine=engine):
         if engine == "full":
             return _full_engine(allocation, min_improvement, max_sweeps, stats)
@@ -869,4 +958,6 @@ def billboard_driven_local_search(
             stats,
             restrict_scans=(engine == "dirty"),
             screen_workers=screen_workers,
+            state=state,
+            final_verify=final_verify,
         )

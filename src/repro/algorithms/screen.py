@@ -255,6 +255,7 @@ class ScreenRoundPlanner:
         verifying: bool,
         screen_workers: int | None,
         track: bool,
+        eager_rounds: bool = False,
     ) -> None:
         self.allocation = allocation
         self.state = state
@@ -267,12 +268,22 @@ class ScreenRoundPlanner:
         self.parallel_rounds = 0
         self._valid = False
         self._chunk_rows = 1
+        # Eager rounds: the first screen of the round covers the whole
+        # remaining frontier (still bounded by the serial cell cap) instead
+        # of doubling up from one row.  Callers that expect few or no moves —
+        # warm quote repairs on a settled state, the read-only settle pass —
+        # opt in: nine doubling dispatches collapse into one or two, and the
+        # post-move reset below still drops back to single-row chunks when a
+        # move does land.  Verdicts are row-wise and chunking-invariant, so
+        # this changes wall-clock only.
+        self._next_chunk = (1 << 30) if eager_rounds else 1
         self._verdicts: dict[int, bool] = {}
         self._survivor_sets: dict[int, np.ndarray] = {}
 
     def invalidate(self) -> None:
         """Drop the cached verdicts (call after every accepted move)."""
         self._valid = False
+        self._next_chunk = 1  # a move landed: assume more follow nearby
 
     def lookup(
         self, advertiser_id: int, position: int, billboard_list: list[int]
@@ -289,13 +300,44 @@ class ScreenRoundPlanner:
         if not self._valid:
             self._verdicts = {}
             self._survivor_sets = {}
-            self._chunk_rows = 1
+            self._chunk_rows = self._next_chunk
             self._valid = True
         if billboard_id not in self._verdicts:
             self._compute(advertiser_id, position, billboard_list)
         if not self._verdicts.get(billboard_id, False):
             return False, None
         return True, self._survivor_sets[billboard_id]
+
+    def clear_run(
+        self, advertiser_id: int, position: int, billboard_list: list[int]
+    ) -> tuple[int, list[int]]:
+        """The advertiser's screened-clear run starting at ``position``.
+
+        Returns ``(rows_consumed, billboards_to_certify)``: the longest
+        prefix of ``billboard_list[position:]`` the serial loop would walk
+        without scanning — rows no longer owned (skipped without a
+        certificate) and rows whose cached verdict is ``False`` (skipped
+        *with* one).  Stops at the first row whose verdict is missing or
+        ``True``.  No move can have landed inside the run (a move empties
+        the cache), so the caller may certify the whole run in one
+        vectorized stamp — each row lands on exactly the version the
+        per-row loop would have written.
+        """
+        if not self._valid:
+            return 0, []
+        verdicts = self._verdicts
+        owner_of = self.allocation.owner_of
+        consumed = 0
+        cleared: list[int] = []
+        for billboard_id in billboard_list[position:]:
+            if owner_of(billboard_id) != advertiser_id:
+                consumed += 1  # moved earlier in this sweep: skip, no stamp
+                continue
+            if not (billboard_id in verdicts and not verdicts[billboard_id]):
+                break
+            consumed += 1
+            cleared.append(billboard_id)
+        return consumed, cleared
 
     # ------------------------------------------------------------ internals
 
@@ -328,14 +370,53 @@ class ScreenRoundPlanner:
             np.asarray(billboards, dtype=np.int64),
         )
 
+    def _serial_row_width(self) -> int:
+        """Estimated candidates per row, for the cache-bound serial chunk cap.
+
+        A cold (or verifying) state screens full-inventory rows, so the cap
+        divides by the inventory as before.  A settled warm state screens
+        only the billboards stamped since the oldest owned certificate — a
+        handful per row — so the cap can admit proportionally more rows per
+        fused round, collapsing a whole warm sweep into one or two screen
+        calls.  Purely a chunking heuristic: verdicts are computed row-wise
+        and are chunking-invariant, so this changes wall-clock only.
+        """
+        allocation = self.allocation
+        inventory = allocation.instance.num_billboards
+        if self.verifying:
+            return inventory
+        state = self.state
+        owners = allocation.owners
+        assigned = owners != UNASSIGNED
+        if not assigned.any():
+            return inventory
+        # The certificate floor is taken over rows that will actually screen
+        # restricted; own-side-stale rows (owner moved since certification,
+        # or never certified) take the full mask whatever the floor says,
+        # and their billboards count into the width below via their fresh
+        # stamps instead.
+        owned = np.nonzero(assigned)[0]
+        cert = state.scan_version[owned]
+        current = (cert > 0) & (state.advertiser_version[owners[owned]] <= cert)
+        if not current.any():
+            return inventory
+        floor = int(cert[current].min())
+        stamp = np.where(
+            assigned,
+            state.advertiser_version[np.where(assigned, owners, 0)],
+            state.freed_version,
+        )
+        return max(int((stamp > floor).sum()), 1)
+
     def _compute(
         self, advertiser_id: int, position: int, billboard_list: list[int]
     ) -> None:
         started = time.perf_counter() if self.track else 0.0  # repro-lint: ignore[determinism] telemetry-only clock
         limit = self._chunk_rows
         if not self.screen_workers or self.screen_workers < 2:
-            inventory = self.allocation.instance.num_billboards
-            limit = min(limit, max(1, SERIAL_CHUNK_CELLS // max(inventory, 1)))
+            limit = min(
+                limit, max(1, SERIAL_CHUNK_CELLS // max(self._serial_row_width(), 1))
+            )
         advertiser_ids, billboard_ids = self._round_rows(
             advertiser_id, position, billboard_list, limit
         )

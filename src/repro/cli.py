@@ -307,6 +307,71 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_quotes(args: argparse.Namespace) -> int:
+    """Stream quotes through an :class:`OnlineHost` and print the verdicts.
+
+    Builds the scenario's generated advertisers, accepts the first
+    ``--book-size`` into a standing book, then prices the held-out rest as a
+    proposal stream.  With ``--accept-attractive`` each quote whose repaired
+    regret does not grow is committed through its token, so later quotes
+    price against the grown book — the incremental engine's journal makes
+    each of these a warm repair rather than a from-scratch re-solve.
+    """
+    from repro.market.online import OnlineHost
+
+    scenario = _scenario_from(args)
+    instance = scenario.build_instance()
+    if instance.num_advertisers <= args.book_size:
+        raise SystemExit(
+            f"scenario generates {instance.num_advertisers} advertisers; "
+            f"need > --book-size {args.book_size} to leave a proposal stream"
+        )
+    obs_active = _obs_begin(args)
+    host = OnlineHost(
+        instance.coverage,
+        gamma=scenario.gamma,
+        repair_sweeps=args.sweeps,
+        pricing=args.pricing,
+    )
+    for advertiser in instance.advertisers[: args.book_size]:
+        host.accept(advertiser.demand, advertiser.payment, name=advertiser.name)
+    print(
+        f"book: {args.book_size} proposals accepted "
+        f"(pricing={host.pricing}), regret={host.total_regret():.1f}"
+    )
+    from repro.utils.timing import Stopwatch
+
+    accepted = 0
+    watch = Stopwatch()
+    watch.start()
+    for advertiser in instance.advertisers[args.book_size :]:
+        quote = host.quote(
+            advertiser.demand, advertiser.payment, name=advertiser.name
+        )
+        committed = False
+        if args.accept_attractive and quote.attractive:
+            host.commit(quote)
+            committed = True
+            accepted += 1
+        print(
+            f"  {quote.advertiser_name or f'#{advertiser.advertiser_id}':<8} "
+            f"demand={quote.demand:>8} payment={quote.payment:>12.1f} "
+            f"dregret={quote.regret_delta:>+12.1f} "
+            f"satisfy={'Y' if quote.would_satisfy else 'N'} "
+            f"{'ACCEPTED' if committed else 'quoted'}"
+        )
+    elapsed = watch.stop()
+    streamed = instance.num_advertisers - args.book_size
+    print(
+        f"stream: {streamed} quotes in {elapsed:.2f}s "
+        f"({streamed / elapsed:.0f} quotes/s), {accepted} accepted, "
+        f"final regret={host.total_regret():.1f}"
+    )
+    if obs_active:
+        _obs_finish(args)
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     if args.validate:
         import json
@@ -370,6 +435,55 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--trajectories", type=int, default=None)
     figure.add_argument("--csv", default=None, help="also export the sweep to this CSV path")
     figure.set_defaults(func=_cmd_figure)
+
+    quotes = sub.add_parser(
+        "quotes",
+        help="stream proposal quotes through the online host (DESIGN.md §15)",
+    )
+    quotes.add_argument("--dataset", choices=("nyc", "sg"), default="nyc")
+    quotes.add_argument("--billboards", type=int, default=None, help="inventory size")
+    quotes.add_argument("--trajectories", type=int, default=None, help="corpus size")
+    quotes.add_argument("--alpha", type=float, default=1.0, help="demand-supply ratio")
+    quotes.add_argument("--p-avg", type=float, default=0.05, help="avg individual demand ratio")
+    quotes.add_argument("--gamma", type=float, default=0.5, help="unsatisfied penalty ratio")
+    quotes.add_argument("--lambda-m", type=float, default=100.0, help="influence radius (m)")
+    quotes.add_argument("--seed", type=int, default=7)
+    quotes.add_argument(
+        "--book-size",
+        type=int,
+        default=8,
+        help="generated advertisers accepted as the standing book; the rest "
+        "become the quoted proposal stream",
+    )
+    quotes.add_argument(
+        "--pricing",
+        choices=("incremental", "full"),
+        default=None,
+        help="quote-pricing engine (default: $REPRO_QUOTE_PRICING, then "
+        "incremental); both return bit-identical quotes",
+    )
+    quotes.add_argument(
+        "--sweeps", type=int, default=2, help="bounded-repair BLS sweeps per quote"
+    )
+    quotes.add_argument(
+        "--accept-attractive",
+        action="store_true",
+        help="commit each quote whose repaired regret does not grow, so the "
+        "book grows as the stream is priced",
+    )
+    quotes.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="PATH",
+        help="write the observability run log (quote.price spans, journal "
+        f"counters) to this JSONL file; ${obs.OBS_OUT_ENV} is the default",
+    )
+    quotes.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="print a human-readable metrics summary after the run",
+    )
+    quotes.set_defaults(func=_cmd_quotes)
 
     obs_parser = sub.add_parser("obs", help="observability artifacts")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)

@@ -263,6 +263,36 @@ class Allocation:
             return None
         return self._packed_masks(advertiser_id)
 
+    def copy_assignments_from(self, other: "Allocation") -> None:
+        """Adopt another allocation's plan wholesale (bulk vectorized copy).
+
+        ``other`` may live on an instance with fewer advertisers (the online
+        host extends the book instance with a newcomer slot): its rows are
+        copied over, and any extra rows of ``self`` are cleared.  Both sides
+        must share the same coverage index — the counter rows are only
+        meaningful against one trajectory universe.
+        """
+        if other.instance.coverage is not self.instance.coverage:
+            raise ValueError("copy_assignments_from requires a shared coverage index")
+        carried = other.instance.num_advertisers
+        if carried > self.instance.num_advertisers:
+            raise ValueError(
+                "source allocation has more advertisers than the destination"
+            )
+        self._owner[:] = other._owner
+        for advertiser_id in range(carried):
+            self._sets[advertiser_id] = set(other._sets[advertiser_id])
+        for advertiser_id in range(carried, self.instance.num_advertisers):
+            self._sets[advertiser_id] = set()
+        self._counts[:carried] = other._counts
+        self._counts[carried:] = 0
+        self._influences[:carried] = other._influences
+        self._influences[carried:] = 0
+        self._unassigned = set(other._unassigned)
+        # Mask tuples are never mutated in place (see clone()), so sharing is
+        # safe; extra rows were zeroed above so their stale masks must go.
+        self._packed = {k: v for k, v in other._packed.items() if k < carried}
+
     # ------------------------------------------------------------------- misc
 
     def clone(self) -> "Allocation":

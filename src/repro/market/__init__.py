@@ -12,7 +12,16 @@ advertiser's demand and payment.
 """
 
 from repro.market.demand import advertiser_count, generate_advertisers
-from repro.market.online import OnlineHost, Quote
+from repro.market.incremental import QuoteWorkspace
+from repro.market.online import OnlineHost, Quote, QuoteToken
 from repro.market.scenario import Scenario
 
-__all__ = ["OnlineHost", "Quote", "Scenario", "advertiser_count", "generate_advertisers"]
+__all__ = [
+    "OnlineHost",
+    "Quote",
+    "QuoteToken",
+    "QuoteWorkspace",
+    "Scenario",
+    "advertiser_count",
+    "generate_advertisers",
+]

@@ -9,27 +9,60 @@ workflow on top:
   how much would total regret change if we accepted it and locally repaired
   the plan?
 * :meth:`OnlineHost.accept` — commit the proposal and adopt the repaired
-  plan.
+  plan (equivalent to ``commit(quote(...))``).
+* :meth:`OnlineHost.commit` — commit a previously returned quote's token:
+  the repair computed while pricing is adopted, not recomputed.
+* :meth:`OnlineHost.quote_many` — price a batch of independent proposals,
+  optionally fanned across the instance's persistent worker pool.
 * :meth:`OnlineHost.reoptimize` — run the full randomized local search over
   the current book (e.g. nightly).
 
 Repair = serve the newcomer with the synchronous greedy over the free pool,
-then a bounded billboard-driven local search — the same building blocks as
-the paper's Algorithm 5, reused incrementally.
+then a bounded billboard-driven local search (the shared
+:func:`~repro.algorithms.repair.bounded_repair` pass).  Two pricing engines
+produce bit-identical quotes (DESIGN.md §15):
+
+* ``pricing="incremental"`` (default) — one journaled allocation lives
+  across quotes; a quote repairs it in place, records the deltas, and rolls
+  back in O(moves touched); sweep certificates and regret caches stay warm.
+* ``pricing="full"`` — rebuild the extended instance and copy the plan per
+  quote; the from-scratch baseline the equivalence tests compare against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro import obs
-from repro.algorithms.bls import billboard_driven_local_search
-from repro.algorithms.greedy_global import synchronous_greedy
+from repro import env, obs
 from repro.algorithms.local_search import RandomizedLocalSearch
+from repro.algorithms.repair import bounded_repair
 from repro.billboard.influence import CoverageIndex
 from repro.core.advertiser import Advertiser
 from repro.core.allocation import Allocation
 from repro.core.problem import MROAMInstance
+from repro.market.incremental import QuoteWorkspace, _price_chunk
+from repro.parallel.pool import instance_pool
+
+#: The available quote-pricing engines (see module docstring).
+PRICING_MODES = ("incremental", "full")
+
+
+@dataclass(frozen=True)
+class QuoteToken:
+    """Commit material for one priced proposal.
+
+    Valid only against the book version it was priced at: any accepted
+    proposal or adopted reoptimization in between invalidates it (the
+    recorded repair was computed against a plan that no longer exists).
+    """
+
+    newcomer: Advertiser
+    book_version: int
+    #: Incremental path: the journal slice + sweep snapshot to replay.
+    entries: tuple = ()
+    post_state: tuple | None = None
+    #: Full path: the already-repaired extended allocation to adopt.
+    repaired: Allocation | None = field(default=None, repr=False)
 
 
 @dataclass(frozen=True)
@@ -42,6 +75,10 @@ class Quote:
     regret_before: float
     regret_after: float
     would_satisfy: bool
+    #: Commit material (``None`` for pool-priced batch quotes, which are
+    #: price-only).  Excluded from equality so quotes from different pricing
+    #: engines compare on their numbers alone.
+    token: QuoteToken | None = field(default=None, repr=False, compare=False)
 
     @property
     def regret_delta(self) -> float:
@@ -68,15 +105,33 @@ class OnlineHost:
         gamma: float = 0.5,
         repair_sweeps: int = 2,
         seed: int = 0,
+        pricing: str | None = None,
     ) -> None:
         if repair_sweeps < 0:
             raise ValueError(f"repair_sweeps must be non-negative, got {repair_sweeps}")
+        if pricing is None:
+            pricing = str(env.QUOTE_PRICING.get())
+        if pricing not in PRICING_MODES:
+            raise ValueError(
+                f"unknown pricing {pricing!r}; expected one of {PRICING_MODES}"
+            )
         self.coverage = coverage
         self.gamma = gamma
         self.repair_sweeps = repair_sweeps
         self.seed = seed
+        self.pricing = pricing
         self._advertisers: list[Advertiser] = []
         self._allocation: Allocation | None = None
+        self._book_version = 0
+        self._workspace: QuoteWorkspace | None = (
+            QuoteWorkspace(coverage, gamma=gamma, repair_sweeps=repair_sweeps)
+            if pricing == "incremental"
+            else None
+        )
+        # The book instance handed to worker pools, rebuilt per book version
+        # (pools key on the instance object, so reusing it keeps them warm).
+        self._pool_instance: MROAMInstance | None = None
+        self._pool_instance_version = -1
 
     # ------------------------------------------------------------------ state
 
@@ -86,10 +141,20 @@ class OnlineHost:
 
     @property
     def allocation(self) -> Allocation | None:
-        """The current plan (``None`` until the first acceptance)."""
+        """The current plan (``None`` until the first acceptance).
+
+        On the incremental path this is the live journaled allocation over
+        the extended instance (book + one empty ghost slot); the ghost owns
+        nothing and contributes ``0.0`` regret, so it reads exactly like the
+        book plan.
+        """
+        if self.pricing == "incremental":
+            return self._workspace.allocation if self._advertisers else None
         return self._allocation
 
     def total_regret(self) -> float:
+        if self.pricing == "incremental":
+            return self._workspace.book_regret() if self._advertisers else 0.0
         return self._allocation.total_regret() if self._allocation else 0.0
 
     def instance(self) -> MROAMInstance:
@@ -108,19 +173,48 @@ class OnlineHost:
         )
         allocation = Allocation(instance)
         if self._allocation is not None:
-            for advertiser_id in range(len(self._advertisers)):
-                for billboard_id in self._allocation.billboards_of(advertiser_id):
-                    allocation.assign(billboard_id, advertiser_id)
+            allocation.copy_assignments_from(self._allocation)
         return newcomer, instance, allocation
 
-    def _repair(self, allocation: Allocation, newcomer_id: int) -> Allocation:
-        """Serve the newcomer from the free pool, then bounded local search."""
-        synchronous_greedy(allocation, active={newcomer_id})
-        if self.repair_sweeps:
-            allocation = billboard_driven_local_search(
-                allocation, max_sweeps=self.repair_sweeps
+    def _price(self, demand: int, payment: float, name: str) -> Quote:
+        """Price one proposal on the configured engine; state is unchanged."""
+        if self.pricing == "incremental":
+            workspace = self._workspace
+            newcomer = Advertiser(
+                workspace.newcomer_slot, demand, payment, name=name
             )
-        return allocation
+            priced = workspace.price(newcomer)
+            regret_before = priced.regret_before
+            regret_after = priced.regret_after
+            would_satisfy = priced.would_satisfy
+            token = QuoteToken(
+                newcomer=newcomer,
+                book_version=self._book_version,
+                entries=priced.entries,
+                post_state=priced.post_state,
+            )
+        else:
+            newcomer, _, allocation = self._extended(demand, payment, name)
+            regret_before = self.total_regret()
+            repaired = bounded_repair(
+                allocation, newcomer.advertiser_id, self.repair_sweeps
+            )
+            regret_after = repaired.total_regret()
+            would_satisfy = repaired.is_satisfied(newcomer.advertiser_id)
+            token = QuoteToken(
+                newcomer=newcomer,
+                book_version=self._book_version,
+                repaired=repaired,
+            )
+        return Quote(
+            advertiser_name=name,
+            demand=demand,
+            payment=payment,
+            regret_before=regret_before,
+            regret_after=regret_after,
+            would_satisfy=would_satisfy,
+            token=token,
+        )
 
     def quote(self, demand: int, payment: float, name: str = "") -> Quote:
         """Price a proposal without changing the host's state.
@@ -129,46 +223,125 @@ class OnlineHost:
         are the quoting-latency numbers the online-service work needs.
         """
         with obs.span("quote.price", demand=int(demand)):
-            newcomer, _, allocation = self._extended(demand, payment, name)
-            before = self.total_regret()
-            repaired = self._repair(allocation, newcomer.advertiser_id)
-        return Quote(
-            advertiser_name=name,
-            demand=demand,
-            payment=payment,
-            regret_before=before,
-            regret_after=repaired.total_regret(),
-            would_satisfy=repaired.is_satisfied(newcomer.advertiser_id),
-        )
+            return self._price(demand, payment, name)
+
+    def commit(self, quote: "Quote | QuoteToken") -> None:
+        """Adopt a priced proposal's repair: the token's plan becomes live.
+
+        Raises ``ValueError`` when the quote carries no token (pool-priced
+        batch quotes) or the book changed since it was priced.
+        """
+        token = quote.token if isinstance(quote, Quote) else quote
+        if token is None:
+            raise ValueError("quote carries no commit token; re-price it")
+        if token.book_version != self._book_version:
+            raise ValueError(
+                "stale quote token: the book changed since this proposal was "
+                "priced; re-quote it"
+            )
+        if self.pricing == "incremental":
+            self._workspace.accept(token.newcomer, token.entries, token.post_state)
+        else:
+            self._allocation = token.repaired
+        self._advertisers.append(token.newcomer)
+        self._book_version += 1
 
     def accept(self, demand: int, payment: float, name: str = "") -> Quote:
         """Commit a proposal: extend the book and adopt the repaired plan."""
         with obs.span("quote.accept", demand=int(demand)):
-            newcomer, _, allocation = self._extended(demand, payment, name)
-            before = self.total_regret()
-            repaired = self._repair(allocation, newcomer.advertiser_id)
-            self._advertisers.append(newcomer)
-            self._allocation = repaired
-        return Quote(
-            advertiser_name=name,
-            demand=demand,
-            payment=payment,
-            regret_before=before,
-            regret_after=repaired.total_regret(),
-            would_satisfy=repaired.is_satisfied(newcomer.advertiser_id),
-        )
+            quote = self._price(demand, payment, name)
+            self.commit(quote)
+        return quote
+
+    def quote_many(self, proposals, workers: int | None = None) -> list[Quote]:
+        """Price independent proposals as one batch (state unchanged).
+
+        ``proposals`` is a sequence of ``(demand, payment)`` or ``(demand,
+        payment, name)`` tuples.  With ``workers >= 2`` (argument or
+        ``REPRO_QUOTE_BATCH_WORKERS``) and a non-empty book on the
+        incremental engine, the batch fans across the book instance's
+        persistent worker pool; pool-priced quotes are price-only (no commit
+        token), and their numbers are bit-identical to the serial loop.
+        """
+        normalized = [
+            (proposal[0], proposal[1], proposal[2] if len(proposal) > 2 else "")
+            for proposal in proposals
+        ]
+        if workers is None:
+            configured = env.QUOTE_BATCH_WORKERS.get()
+            workers = int(configured) if configured is not None else 0
+        with obs.span("quote.batch", proposals=len(normalized)):
+            if (
+                self.pricing == "incremental"
+                and self._advertisers
+                and workers >= 2
+                and len(normalized) >= 2
+            ):
+                quotes = self._quote_many_parallel(normalized, workers)
+                if quotes is not None:
+                    return quotes
+            return [
+                self._price(demand, payment, name)
+                for demand, payment, name in normalized
+            ]
+
+    def _quote_many_parallel(self, proposals: list, workers: int) -> list | None:
+        """Fan a normalized batch across the warm pool; ``None`` = go serial."""
+        instance = self._book_instance()
+        pool = instance_pool(instance, workers)
+        if pool.workers < 2:
+            return None
+        owners = self._workspace.allocation.owners.copy()
+        chunk = -(-len(proposals) // pool.workers)  # ceil division
+        payloads = [
+            {
+                "owners": owners,
+                "proposals": proposals[start : start + chunk],
+                "repair_sweeps": self.repair_sweeps,
+                "min_improvement": self._workspace.min_improvement,
+            }
+            for start in range(0, len(proposals), chunk)
+        ]
+        rows = [row for chunk_rows in pool.run(_price_chunk, payloads) for row in chunk_rows]
+        return [
+            Quote(
+                advertiser_name=name,
+                demand=demand,
+                payment=payment,
+                regret_before=regret_before,
+                regret_after=regret_after,
+                would_satisfy=would_satisfy,
+            )
+            for (demand, payment, name), (
+                regret_before,
+                regret_after,
+                would_satisfy,
+            ) in zip(proposals, rows)
+        ]
+
+    def _book_instance(self) -> MROAMInstance:
+        """The book instance reused across pool calls at one book version."""
+        if self._pool_instance_version != self._book_version:
+            self._pool_instance = self.instance()
+            self._pool_instance_version = self._book_version
+        return self._pool_instance
 
     def reoptimize(self, restarts: int = 3) -> float:
         """Full randomized local search over the whole book (e.g. nightly).
 
         Returns the new total regret.  Keeps the better of the incumbent and
-        the freshly searched plan.
+        the freshly searched plan; adopting invalidates outstanding quote
+        tokens (the book version advances).
         """
         if not self._advertisers:
             return 0.0
         result = RandomizedLocalSearch(
             neighborhood="bls", restarts=restarts, seed=self.seed
         ).solve(self.instance())
-        if self._allocation is None or result.total_regret < self.total_regret():
-            self._allocation = result.allocation
+        if result.total_regret < self.total_regret():
+            if self.pricing == "incremental":
+                self._workspace.adopt_book_plan(result.allocation)
+            else:
+                self._allocation = result.allocation
+            self._book_version += 1
         return self.total_regret()

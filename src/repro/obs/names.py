@@ -44,6 +44,9 @@ BLS_SCREEN_PARALLEL = "bls.screen.parallel"
 BLS_DIRTY_SCANNED = "bls.dirty.scanned"
 BLS_DIRTY_SKIPPED = "bls.dirty.skipped"
 SWEEP_MOVES = "sweep.moves"
+JOURNAL_ROLLBACK = "journal.rollback"
+QUOTE_CACHE_HIT = "quote.cache.hit"
+QUOTE_CACHE_MISS = "quote.cache.miss"
 
 # --------------------------------------------------------------- gauges
 
@@ -78,6 +81,7 @@ SPAN_BLS_SEARCH = "bls.search"
 SPAN_ANNEAL_CHAIN = "anneal.chain"
 SPAN_QUOTE_PRICE = "quote.price"
 SPAN_QUOTE_ACCEPT = "quote.accept"
+SPAN_QUOTE_BATCH = "quote.batch"
 
 # ------------------------------------------------- run-event / trace kinds
 
